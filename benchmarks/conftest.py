@@ -1,0 +1,45 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark works on the **paper-scale** default scenario (seed
+2018, ~2500 ASes, 160 vantage points, six churn rounds), built once per
+session.  Benchmarks both *print* the reproduced table/figure — so that
+``pytest benchmarks/ --benchmark-only`` regenerates the paper's rows
+and series — and *assert* the qualitative shape the paper reports.
+
+The ablation benchmarks (DESIGN.md §5) rebuild smaller scenarios with
+one mechanism changed at a time; they use a reduced AS count to keep
+the whole suite in the minutes range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScenarioConfig, build_scenario, default_scenario
+from repro.scenario import Scenario
+
+
+@pytest.fixture(scope="session")
+def paper() -> Scenario:
+    """The cached paper-scale scenario."""
+    scenario = default_scenario()
+    print("\n[scenario]", scenario.corpus.stats())
+    print("[validation]", scenario.validation.report.as_dict())
+    return scenario
+
+
+def ablation_config(**kwargs) -> ScenarioConfig:
+    """A mid-sized config for mechanism ablations."""
+    config = ScenarioConfig.default()
+    config.topology.n_ases = 1200
+    config.measurement.n_vantage_points = 100
+    config.measurement.n_churn_rounds = 2
+    for key, value in kwargs.items():
+        setattr(config, key, value)
+    return config
+
+
+@pytest.fixture(scope="session")
+def ablation_base() -> Scenario:
+    """The unmodified mid-sized scenario ablations compare against."""
+    return build_scenario(ablation_config())

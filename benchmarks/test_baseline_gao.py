@@ -1,0 +1,26 @@
+"""Baseline comparison — Gao (2001) against the modern algorithms.
+
+Not a paper table, but the natural sanity anchor for the evaluation
+harness: the historical degree heuristic must be measurably worse than
+ASRank/ProbLink/TopoScope on the same validation data, and its error
+profile (peering inferred as transit) must differ in kind.
+"""
+
+from repro.analysis.report import render_validation_table
+
+
+def test_baseline_gao(paper, benchmark):
+    table = benchmark(paper.validation_table, "gao")
+    print()
+    print(render_validation_table(table))
+
+    modern = paper.validation_table("asrank").total
+    gao = table.total
+    print(
+        f"\nTotal MCC: gao {gao.mcc:.3f} vs asrank {modern.mcc:.3f}"
+    )
+    # Two decades of algorithmic work must show.
+    assert gao.mcc < modern.mcc
+    # Gao's characteristic failure: poor P2P recall (peerings are
+    # swallowed by the degree-gradient heuristic).
+    assert gao.tpr_p2p < modern.tpr_p2p

@@ -1,0 +1,37 @@
+"""Consensus disagreement — the paper's problem classes, found blind.
+
+§7 argues future efforts need "more diverse goals" than one global
+correctness number.  A zero-knowledge instrument in that spirit: run
+the three classifiers and measure where they *disagree*.  This bench
+shows the disagreement concentrates on the same classes the paper's
+validation tables flag (T1-TR well above the easy bulk), i.e. the
+problem classes are discoverable without any validation data at all.
+"""
+
+from repro.inference.asrank import ASRank
+from repro.inference.consensus import ConsensusClassifier, disagreement_by_class
+from repro.inference.problink import ProbLink
+from repro.inference.toposcope import TopoScope
+
+
+def test_disagreement_finds_problem_classes(paper, benchmark):
+    classifier = ConsensusClassifier([
+        ASRank(),
+        ProbLink(ixps=paper.topology.ixps),
+        TopoScope(ixps=paper.topology.ixps),
+    ])
+    benchmark.pedantic(
+        classifier.infer, args=(paper.corpus,), rounds=1, iterations=1
+    )
+    per_class = disagreement_by_class(
+        classifier.disagreement_, paper.topological_classifier().classify
+    )
+    print("\nmean panel disagreement per topological class:")
+    for name, value in sorted(per_class.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:6s} {value:.3f}")
+    contested = classifier.contested_links(min_disagreement=0.3)
+    print(f"contested links (>=1 dissenting vote): {len(contested)}")
+
+    # The §6 problem class splits the panel harder than the easy bulk.
+    assert per_class["T1-TR"] > per_class["S-TR"]
+    assert contested

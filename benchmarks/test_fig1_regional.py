@@ -1,0 +1,47 @@
+"""Figure 1 — regional imbalance.
+
+Paper series (April 2018):
+
+  link shares:  R° 0.39, AR° 0.15, L° 0.14, AP° 0.08, AR-R 0.08,
+                AP-R 0.06, AP-AR 0.03, AF-R 0.02, AR-L 0.02, AF° 0.01,
+                L-R 0.01
+  coverage:     R° 0.15, AR° 0.31, L° 0.00, AP° 0.05, AR-R 0.32,
+                AP-R 0.07, AP-AR 0.17, AF-R 0.04, AR-L 0.18, AF° 0.00,
+                L-R 0.08
+
+Shape targets asserted here: region-internal links dominate; R° is the
+largest class; AR° and L° are of comparable size, yet AR° enjoys an
+order of magnitude more validation coverage while L° (and AF°) sit at
+essentially zero.
+"""
+
+from repro.analysis.report import render_bias_figure, render_class_shares
+
+
+def test_fig1_regional_imbalance(paper, benchmark):
+    profile = benchmark(paper.regional_bias)
+    print()
+    print(render_bias_figure(profile, "Figure 1 (regional imbalance)"))
+    print()
+    print(render_class_shares(profile))
+
+    by_name = profile.by_name()
+    # Region-internal classes dominate the inferred links (paper: ~79%).
+    internal = sum(c.share for c in profile.classes if c.class_name.endswith("°"))
+    assert internal > 0.55
+
+    # R° is the largest class.
+    assert profile.classes[0].class_name == "R°"
+
+    # The LACNIC hole: L° carries a real share of links but has
+    # near-zero coverage; AFRINIC-internal likewise.
+    assert by_name["L°"].share > 0.04
+    assert by_name["L°"].coverage < 0.02
+    assert by_name["AF°"].coverage < 0.05
+
+    # ARIN-internal links are dramatically better covered than L°.
+    assert by_name["AR°"].coverage > 10 * max(by_name["L°"].coverage, 0.005)
+
+    # The mismatch detector flags L° exactly as §5 describes.
+    mismatches = {c.class_name for c in profile.mismatch_classes(0.04, 0.02)}
+    assert "L°" in mismatches

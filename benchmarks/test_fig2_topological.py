@@ -1,0 +1,49 @@
+"""Figure 2 — topological imbalance.
+
+Paper series (April 2018):
+
+  link shares:  S-TR 0.48, TR° 0.34, S-T1 0.07, S° 0.04, T1-TR 0.04,
+                H-TR 0.02, H-S 0.01, H-T1 0.00
+  coverage:     S-TR 0.06, TR° 0.12, S-T1 0.74, S° 0.00, T1-TR 0.74,
+                H-TR 0.07, H-S 0.00, H-T1 0.58
+
+Shape targets: S-TR and TR° together hold the bulk of the inferred
+links yet have low coverage, while substantial validation exists only
+for classes incident to a Tier-1.
+"""
+
+from repro.analysis.report import render_bias_figure, render_class_shares
+
+
+def test_fig2_topological_imbalance(paper, benchmark):
+    profile = benchmark(paper.topological_bias)
+    print()
+    print(render_bias_figure(profile, "Figure 2 (topological imbalance)"))
+    print()
+    print(render_class_shares(profile))
+
+    by_name = profile.by_name()
+
+    # The two majority classes (paper: 82 % in S-TR + TR°).
+    majority = by_name["S-TR"].share + by_name["TR°"].share
+    assert majority > 0.6
+    assert by_name["S-TR"].share > by_name["TR°"].share
+
+    # ... but their validation coverage is poor,
+    assert by_name["S-TR"].coverage < 0.35
+    assert by_name["TR°"].coverage < 0.45
+
+    # while Tier-1-incident classes are heavily validated.
+    assert by_name["T1-TR"].coverage > 2 * by_name["TR°"].coverage
+    assert by_name["S-T1"].coverage > 2 * by_name["S-TR"].coverage
+
+    # The S-TR class is dominated by P2C relationships (the paper
+    # reports 67.8 % P2C in validation; ground truth in the simulator).
+    graph = paper.topology.graph
+    s_tr_links = [
+        key for key in paper.class_links("S-TR") if graph.has_link(*key)
+    ]
+    p2c = sum(
+        1 for key in s_tr_links if graph.link(*key).rel.name == "P2C"
+    )
+    assert p2c / len(s_tr_links) > 0.6

@@ -1,0 +1,47 @@
+"""Figures 4-6 (Appendix A) — does performance correlate with coverage?
+
+The paper subsamples the validated T1-TR links at 50-99 % (step 1 %,
+100 repetitions each) and shows that precision, recall, and MCC medians
+stay flat while the IQR widens as samples shrink — i.e. measured
+performance is not an artefact of how much of a class is validated.
+"""
+
+from repro.analysis.report import render_sampling_figure
+from repro.analysis.sampling import iqr_widening, sampling_experiment, trend_slope
+
+
+def _run(paper):
+    return sampling_experiment(
+        paper.class_links("T1-TR"),
+        paper.infer("asrank"),
+        paper.validation,
+        class_name="T1-TR",
+        sizes_percent=range(50, 100),
+        repetitions=100,
+        seed=2018,
+    )
+
+
+def test_fig456_sampling_correlation(paper, benchmark):
+    result = benchmark.pedantic(_run, args=(paper,), rounds=1, iterations=1)
+    print()
+    for metric, figure in (("ppv_p2p", "Figure 4"), ("tpr_p2p", "Figure 5"),
+                           ("mcc", "Figure 6")):
+        text = render_sampling_figure(result, metric)
+        # print a decimated view (every 10th size) to keep output sane
+        lines = text.splitlines()
+        print(f"{figure}:")
+        print("\n".join(lines[:2] + lines[2::10]))
+        print()
+
+    # No trend: the per-size medians are flat (paper: "neither an
+    # increasing nor a decreasing trend").
+    for metric in ("ppv_p2p", "tpr_p2p", "mcc"):
+        slope = trend_slope(result.median_series(metric))
+        print(f"{metric} median slope per % of sample size: {slope:+.5f}")
+        assert abs(slope) < 0.002
+
+    # Variance increases with decreasing sample size.
+    widening = iqr_widening(result, "mcc")
+    print(f"MCC IQR widening (50% vs 99%): {widening:+.4f}")
+    assert widening >= 0

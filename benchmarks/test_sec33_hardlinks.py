@@ -1,0 +1,95 @@
+"""§3.3 — existing insights into validation bias, re-measured.
+
+Two prior findings the paper builds on are verified on the simulator:
+
+* **Jin et al.**: the validation data is skewed towards links that are
+  easy to infer (the five hard-link criteria);
+* **Luckie et al.**: community-based validation over-represents links
+  incident to a vantage point and to clique ASes.
+
+Plus the UNARI-flavoured uncertainty analysis the paper could not run
+for lack of artifacts: ProbLink's posteriors are calibrated against the
+validation data, and the depressed classes show smaller decision
+margins.
+"""
+
+from repro.analysis.hardlinks import hard_link_report
+from repro.analysis.uncertainty import (
+    expected_calibration_error,
+    selective_accuracy,
+    uncertainty_by_class,
+)
+from repro.inference.problink import ProbLink
+
+
+def test_sec33_validation_skewed_to_easy_links(paper, benchmark):
+    report = benchmark.pedantic(
+        hard_link_report,
+        args=(paper.corpus, paper.algorithm("asrank").clique_),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nhard-link share of visible links: {report.hard_share():.2f}")
+    for name, links in report.categories.items():
+        print(f"  {name:16s} {len(links)}")
+    easy_cov, hard_cov = report.validation_skew(
+        paper.validation, paper.inferred_links()
+    )
+    print(f"validation coverage: easy links {easy_cov:.3f}, "
+          f"hard links {hard_cov:.3f}")
+    assert easy_cov > hard_cov * 1.3
+
+
+def test_sec33_vp_and_clique_links_overrepresented(paper, benchmark):
+    """Luckie et al.'s finding, measured directly."""
+    vps = paper.corpus.vantage_points
+    clique = set(
+        benchmark.pedantic(
+            lambda: paper.algorithm("asrank").clique_, rounds=1, iterations=1
+        )
+    )
+    groups = {"vp_incident": [0, 0], "clique_incident": [0, 0], "other": [0, 0]}
+    for key in paper.inferred_links():
+        if key[0] in clique or key[1] in clique:
+            slot = groups["clique_incident"]
+        elif key[0] in vps or key[1] in vps:
+            slot = groups["vp_incident"]
+        else:
+            slot = groups["other"]
+        slot[1] += 1
+        slot[0] += key in paper.validation
+    coverage = {
+        name: validated / max(1, total)
+        for name, (validated, total) in groups.items()
+    }
+    print(f"\ncoverage by incidence: {coverage}")
+    assert coverage["clique_incident"] > coverage["other"]
+    assert coverage["vp_incident"] > coverage["other"]
+
+
+def test_unari_style_uncertainty(paper, benchmark):
+    problink = ProbLink(ixps=paper.topology.ixps)
+    benchmark.pedantic(problink.infer, args=(paper.corpus,),
+                       rounds=1, iterations=1)
+    posteriors = problink.posterior_p2p_
+
+    ece = expected_calibration_error(posteriors, paper.validation)
+    print(f"\nProbLink expected calibration error: {ece:.3f}")
+    assert ece < 0.35
+
+    curve = selective_accuracy(posteriors, paper.validation)
+    print("threshold coverage accuracy")
+    for threshold, coverage, accuracy in curve:
+        print(f"  {threshold:.2f}     {coverage:.3f}    {accuracy:.3f}")
+    # Abstaining on uncertain links must not hurt accuracy.
+    assert curve[-1][2] >= curve[0][2] - 0.02
+
+    margins = uncertainty_by_class(
+        posteriors, paper.topological_classifier().classify
+    )
+    print("mean decision margin per class:",
+          {k: round(v, 3) for k, v in sorted(margins.items())})
+    # The depressed T1-TR class should carry less certainty than the
+    # easy S-TR bulk.
+    if "T1-TR" in margins and "S-TR" in margins:
+        assert margins["T1-TR"] <= margins["S-TR"] + 0.02

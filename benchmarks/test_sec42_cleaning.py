@@ -1,0 +1,67 @@
+"""§4.2 — label quality & treatment.
+
+The paper finds, in the raw April 2018 validation data: 15 AS_TRANS
+relationships, 112 reserved-ASN relationships, 246 multi-label entries
+involving 233 ASes, 210 sibling relationships in validation, and 2800
+sibling links among the inferred relationships.  It further shows that
+the multi-label treatment silently changed published counts (TopoScope
+matches first-label-P2P, ProbLink matches always-P2C).
+"""
+
+from repro.topology.graph import RelType
+from repro.validation.cleaning import (
+    MultiLabelPolicy,
+    clean_validation,
+    count_sibling_links,
+)
+
+
+def test_sec42_cleaning_counts(paper, benchmark):
+    cleaned = benchmark.pedantic(
+        clean_validation,
+        args=(paper.raw_validation.data, paper.topology.orgs),
+        rounds=1,
+        iterations=1,
+    )
+    report = cleaned.report
+    print("\n§4.2 label treatment (paper: 15 AS_TRANS, 112 reserved, "
+          "246 multi-label / 233 ASes, 210 siblings, 2800 inferred siblings)")
+    print("measured:", report.as_dict())
+
+    cfg = paper.config.validation
+    assert report.n_as_trans_links == cfg.n_as_trans_entries
+    assert report.n_reserved_links >= cfg.n_reserved_asn_entries - 5
+    assert report.n_multi_label_links > 0
+    assert report.n_multi_label_ases >= report.n_multi_label_links
+
+    inferred_siblings = count_sibling_links(
+        paper.inferred_links(exclude_siblings=False), paper.topology.orgs
+    )
+    print("sibling links among inferred:", inferred_siblings)
+    assert inferred_siblings > report.n_sibling_links
+
+
+def test_sec42_multilabel_policy_changes_counts(paper, benchmark):
+    """The policy choice shifts P2P/P2C counts exactly as §4.2 found in
+    the published numbers of TopoScope and ProbLink."""
+    raw, orgs = paper.raw_validation.data, paper.topology.orgs
+    ignore = benchmark.pedantic(
+        clean_validation,
+        args=(raw, orgs, MultiLabelPolicy.IGNORE),
+        rounds=1,
+        iterations=1,
+    )
+    first_p2p = clean_validation(raw, orgs, MultiLabelPolicy.FIRST_P2P_ELSE_P2C)
+    always = clean_validation(raw, orgs, MultiLabelPolicy.ALWAYS_P2C)
+
+    n_multi = ignore.report.n_multi_label_links
+    print(f"\nmulti-label entries: {n_multi}")
+    for name, cleaned in (("ignore", ignore), ("first_p2p", first_p2p),
+                          ("always_p2c", always)):
+        counts = cleaned.counts()
+        print(f"  {name:10s} P2P={counts[RelType.P2P]} "
+              f"P2C={counts[RelType.P2C]} total={len(cleaned)}")
+
+    assert len(first_p2p) == len(always) == len(ignore) + n_multi
+    assert first_p2p.counts()[RelType.P2P] >= always.counts()[RelType.P2P]
+    assert always.counts()[RelType.P2C] >= ignore.counts()[RelType.P2C]

@@ -1,0 +1,45 @@
+"""§6.1 — the Cogent (AS174) case study.
+
+Paper findings: 54 of 111 wrongly-P2P-inferred T1-TR links involve
+AS174; no ``C | AS174 | X`` triplet exists for any target link; the
+looking glass shows all persisting target links tagged with 174:990
+(do-not-export-to-peers), i.e. the customers bought partial transit —
+except one case of stale validation data.
+"""
+
+from repro.bgp.communities import Meaning
+
+
+def test_sec61_cogent_case_study(paper, benchmark):
+    result = benchmark.pedantic(
+        paper.case_study, args=("asrank",), rounds=1, iterations=1
+    )
+    cogent = paper.topology.cogent_asn
+
+    print(f"\nwrongly-P2P T1-TR links: {result.n_wrong} (paper: 111)")
+    print(f"focus clique member: AS{result.focus_member} (paper: AS174)")
+    print(f"focus share of wrong links: {result.focus_share:.2f} (paper: 0.49)")
+    print(f"targets audited via looking glass: {len(result.targets)}")
+    print(f"  partial transit confirmed: {result.n_partial_transit_confirmed}")
+    print(f"  stale validation: {result.n_stale_validation}")
+
+    assert result.n_wrong > 5
+    # Concentration on the Cogent-like AS.
+    assert result.focus_member == cogent
+    assert result.focus_share > 0.25
+
+    # No clique triplet exists for any target link (the algorithmic
+    # cause of the misinference).
+    assert result.targets
+    assert not any(t.has_clique_triplet for t in result.targets)
+
+    # The looking glass explains (almost) every target: the received
+    # routes carry the do-not-export-to-peers community.
+    explained = result.n_partial_transit_confirmed + result.n_stale_validation
+    assert explained == len(result.targets)
+    assert result.n_partial_transit_confirmed >= result.n_stale_validation
+
+    # And the community in question is literally 174:990-shaped.
+    marker = paper.communities.codebook(cogent).encode(Meaning.NO_EXPORT_TO_PEERS)
+    print(f"no-export community of AS{cogent}: {marker[0]}:{marker[1]}")
+    assert marker[0] == cogent

@@ -1,0 +1,96 @@
+"""§7 outlook — the paper's proposed future directions, made executable.
+
+Three proposals from the discussion section are benchmarked:
+
+* **re-sampling over time**: exploiting routing-ecosystem churn to
+  over-sample validation data (how many unique data points do N months
+  of snapshots yield vs the best single snapshot?);
+* **Peerlock as an incentive**: router-filter generation from
+  relationship data, and how inference errors translate into missing
+  or spurious protection;
+* **complex-relationship handling**: explicit detection of
+  partial-transit links, the §4.2/§7 ask, evaluated against ground
+  truth.
+"""
+
+import pytest
+
+from repro import ScenarioConfig
+from repro.applications.peerlock import evaluate_protection, generate_peerlock
+from repro.datasets.asrel import RelationshipSet
+from repro.evolution import EvolutionConfig, EvolutionSimulator
+from repro.inference.complex_rels import ComplexRelationshipDetector
+from repro.topology.graph import RelType
+
+
+def test_sec7_resampling_oversamples_validation(benchmark):
+    config = ScenarioConfig.default()
+    config.topology.n_ases = 700
+    config.measurement.n_vantage_points = 70
+    config.measurement.n_churn_rounds = 1
+    simulator = EvolutionSimulator(config, EvolutionConfig(months=5))
+    result = benchmark.pedantic(simulator.run, rounds=1, iterations=1)
+    gain = result.oversampling_gain(min_gap_months=3)
+    print(f"\nmonthly validated links: {result.monthly_label_counts}")
+    print(f"unique samples (3-month gap): "
+          f"{result.temporal.unique_samples(3)}")
+    print(f"over-sampling gain vs best single snapshot: {gain:.2f}x")
+    print(f"relationship changes observed: "
+          f"{len(result.temporal.changed_links())}")
+    # The §7 claim: re-sampling yields strictly more data than any
+    # single snapshot.
+    assert gain > 1.2
+
+
+def test_sec7_peerlock_inherits_inference_errors(paper, benchmark):
+    truth = RelationshipSet()
+    for link in paper.topology.graph.links():
+        if link.rel is RelType.P2C:
+            truth.set_p2c(link.provider, link.customer)
+        elif link.rel is RelType.P2P:
+            truth.set_p2p(link.provider, link.customer)
+
+    def build_configs():
+        scores = {}
+        for member in paper.algorithm("asrank").clique_:
+            config = generate_peerlock(member, paper.infer("asrank"))
+            scores[member] = evaluate_protection(member, config, truth)
+        return scores
+
+    scores = benchmark.pedantic(build_configs, rounds=1, iterations=1)
+    total_missing = sum(s.missing_protection for s in scores.values())
+    total_spurious = sum(s.spurious_protection for s in scores.values())
+    total_rules = sum(s.n_rules for s in scores.values())
+    print(f"\nPeerlock configs for {len(scores)} clique members: "
+          f"{total_rules} rules")
+    print(f"missing protection (misinferred peerings): {total_missing}")
+    print(f"spurious protection (misinferred customers): {total_spurious}")
+    # §2's warning quantified: inference errors do surface in the
+    # generated configurations.
+    assert total_rules > 0
+    assert total_missing + total_spurious > 0
+
+
+def test_sec7_complex_relationship_handling(paper, benchmark):
+    detector = ComplexRelationshipDetector(
+        base_inference=paper.infer("asrank"),
+        clique=paper.algorithm("asrank").clique_,
+    )
+    report = benchmark.pedantic(
+        detector.detect,
+        args=(paper.corpus,),
+        kwargs={"validation": paper.raw_validation.data},
+        rounds=1,
+        iterations=1,
+    )
+    graph = paper.topology.graph
+    true_partial = sum(
+        1
+        for c in report.partial_transit
+        if graph.has_link(*c.key) and graph.link(*c.key).partial_transit
+    )
+    print(f"\npartial-transit candidates: {len(report.partial_transit)} "
+          f"({true_partial} true in ground truth)")
+    print(f"hybrid candidates: {len(report.hybrid)}")
+    assert report.partial_transit
+    assert true_partial / len(report.partial_transit) >= 0.4

@@ -1,0 +1,45 @@
+"""Substrate performance benchmarks.
+
+Not paper experiments — these time the simulator's hot paths so
+regressions in the engine are caught alongside the science:
+
+* per-origin route computation (the inner loop of collection),
+* corpus indexing throughput,
+* full ASRank inference over the paper-scale corpus.
+"""
+
+from repro.bgp.policy import AdjacencyIndex
+from repro.bgp.propagation import compute_route_tree
+from repro.datasets.paths import CollectedRoute, PathCorpus
+from repro.inference.asrank import ASRank
+
+
+def test_perf_route_tree(paper, benchmark):
+    adjacency = AdjacencyIndex(paper.topology.graph)
+    origins = paper.topology.graph.asns()[:50]
+
+    def run():
+        for origin in origins:
+            compute_route_tree(adjacency, origin)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_perf_corpus_indexing(paper, benchmark):
+    routes = [route for _, route in zip(range(20000), paper.corpus.routes())]
+
+    def rebuild():
+        corpus = PathCorpus()
+        for route in routes:
+            corpus.add_route(route)
+        return corpus
+
+    corpus = benchmark.pedantic(rebuild, rounds=3, iterations=1)
+    assert len(corpus) == len(routes)
+
+
+def test_perf_asrank_inference(paper, benchmark):
+    rels = benchmark.pedantic(
+        lambda: ASRank().infer(paper.corpus), rounds=3, iterations=1
+    )
+    assert len(rels) == len(paper.corpus.visible_links())

@@ -1,0 +1,44 @@
+"""Table 1 — per-group validation table for ASRank.
+
+Paper headline values: Total° PPV_P 0.982 / TPR_P 0.990 / MCC 0.980;
+the problem classes are AR-L (PPV_P 0.930), S-T1 (PPV_P 0.000) and
+T1-TR (PPV_P 0.839), i.e. a 14 % P2P-precision drop for Tier-1-to-
+transit peering links.
+
+Shape targets asserted: high overall correctness, near-perfect P2C
+precision, and the same trio of depressed P2P classes.
+"""
+
+from repro.analysis.report import render_validation_table
+
+
+def test_table1_asrank(paper, benchmark):
+    table = benchmark(paper.validation_table, "asrank")
+    print()
+    print(render_validation_table(table))
+
+    total = table.total
+    # "near-perfect" overall correctness, scaled expectations.
+    assert total.ppv_p2p > 0.85
+    assert total.ppv_p2c > 0.85
+    assert total.mcc > 0.75
+
+    # All three algorithms do near-perfect on P2C links (common wisdom).
+    assert total.tpr_p2c > 0.9
+
+    # The headline finding: T1-TR P2P precision sits well below Total°.
+    t1_tr = table.metrics("T1-TR")
+    assert t1_tr is not None
+    assert t1_tr.ppv_p2p < total.ppv_p2p - 0.04
+    drop = total.ppv_p2p - t1_tr.ppv_p2p
+    print(f"\nT1-TR PPV_P drop vs Total°: {drop:.3f} (paper: 0.143)")
+
+    # T1-TR shows up among the worst P2P classes.
+    worst = {m.class_name for m in table.worst_p2p_classes(4)}
+    assert "T1-TR" in worst
+
+    # The S-T1 class degrades too (recall collapse: special-business
+    # stubs peering with Tier-1s get called customers).
+    s_t1 = table.metrics("S-T1")
+    if s_t1 is not None and s_t1.n_p2p >= 10:
+        assert s_t1.tpr_p2p < total.tpr_p2p

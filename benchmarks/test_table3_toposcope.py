@@ -1,0 +1,34 @@
+"""Table 3 — per-group validation table for TopoScope.
+
+Paper headline values: Total° PPV_P 0.976 / MCC 0.974 — between ASRank
+(0.980) and ProbLink (0.957) overall, with the same problem classes
+(AR-L, S-T1, T1-TR at PPV_P 0.798).
+"""
+
+from repro.analysis.report import render_validation_table
+
+
+def test_table3_toposcope(paper, benchmark):
+    table = benchmark(paper.validation_table, "toposcope")
+    print()
+    print(render_validation_table(table))
+
+    total = table.total
+    assert total.ppv_p2c > 0.8
+    assert total.mcc > 0.65
+
+    t1_tr = table.metrics("T1-TR")
+    assert t1_tr is not None
+    assert t1_tr.ppv_p2p < total.ppv_p2p
+
+    # Ordering across the three algorithms (paper MCC:
+    # ASRank 0.980 >= TopoScope 0.974 >= ProbLink 0.957).
+    asrank_mcc = paper.validation_table("asrank").total.mcc
+    problink_mcc = paper.validation_table("problink").total.mcc
+    print(
+        f"\nTotal MCC ordering: asrank {asrank_mcc:.3f}, "
+        f"toposcope {total.mcc:.3f}, problink {problink_mcc:.3f} "
+        "(paper: 0.980, 0.974, 0.957)"
+    )
+    assert total.mcc <= asrank_mcc + 0.02
+    assert total.mcc >= problink_mcc - 0.05

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Build your own Internet: every bias in the paper is a config knob.
+
+Demonstrates the scenario configuration surface by building three
+Internets and comparing their Figure 1 coverage rows:
+
+* the **status quo** — documentation culture as observed in 2018;
+* a **LACNIC renaissance** — LACNIC operators start documenting their
+  communities as diligently as ARIN operators (the paper's §7 hope:
+  "targeted interaction with operators could counteract the current
+  problem of missing validation data for an entire region");
+* a **documentation collapse** — nobody documents; community-based
+  validation disappears entirely.
+
+Run:  python examples/build_your_own_internet.py
+"""
+
+from repro import ScenarioConfig, build_scenario
+from repro.topology.regions import Region
+from repro.utils.text import format_table
+
+
+def base_config() -> ScenarioConfig:
+    config = ScenarioConfig.default()
+    config.topology.n_ases = 900
+    config.measurement.n_vantage_points = 80
+    config.measurement.n_churn_rounds = 2
+    return config
+
+
+def lacnic_renaissance() -> ScenarioConfig:
+    config = base_config()
+    multipliers = dict(config.validation.doc_region_multiplier)
+    multipliers[Region.LACNIC] = multipliers[Region.ARIN]
+    config.validation.doc_region_multiplier = multipliers
+    return config
+
+
+def documentation_collapse() -> ScenarioConfig:
+    config = base_config()
+    config.validation.doc_prob_by_role = {
+        role: 0.0 for role in config.validation.doc_prob_by_role
+    }
+    config.validation.rpsl_record_prob = 0.0
+    return config
+
+
+def main() -> None:
+    worlds = {
+        "status quo": base_config(),
+        "LACNIC renaissance": lacnic_renaissance(),
+        "documentation collapse": documentation_collapse(),
+    }
+    profiles = {}
+    for name, config in worlds.items():
+        print(f"building '{name}' ...")
+        scenario = build_scenario(config)
+        profiles[name] = (scenario.regional_bias(), len(scenario.validation))
+
+    classes = ["R°", "AR°", "L°", "AP°", "AF°"]
+    rows = []
+    for name, (profile, n_validated) in profiles.items():
+        by_name = profile.by_name()
+        row = [name, str(n_validated)]
+        for class_name in classes:
+            entry = by_name.get(class_name)
+            row.append(f"{entry.coverage:.3f}" if entry else "-")
+        rows.append(row)
+    print()
+    print(format_table(
+        ["world", "validated links"] + [f"{c} cov." for c in classes],
+        rows,
+        title="Validation coverage per region-internal class",
+    ))
+    print()
+    print("The LACNIC hole (L° ~ 0 in the status quo) is a documentation-")
+    print("culture artefact: give LACNIC an ARIN-grade culture and the class")
+    print("becomes validatable; remove documentation and *every* class dies.")
+
+
+if __name__ == "__main__":
+    main()

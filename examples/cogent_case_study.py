@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The §6.1 case study, step by step: why does ASRank call Cogent's
+partial-transit customers peers?
+
+Walks the exact investigation of the paper:
+
+1. find the T1-TR links wrongly inferred as P2P (validation says P2C);
+2. show they concentrate on one clique member (AS174, Cogent);
+3. show that no ``C | AS174 | X`` triplet exists in the path corpus
+   for any target link — the evidence ASRank would need;
+4. query the (simulated) looking glass: the routes AS174 received over
+   the target links carry 174:990, the do-not-export-to-peers
+   community — the customers bought partial transit.
+
+Run:  python examples/cogent_case_study.py
+"""
+
+from repro import ScenarioConfig, build_scenario
+from repro.bgp.communities import Meaning
+from repro.bgp.lookingglass import LookingGlass
+from repro.utils.text import format_table
+
+
+def main() -> None:
+    config = ScenarioConfig.default()
+    config.topology.n_ases = 1200
+    config.measurement.n_vantage_points = 100
+    config.measurement.n_churn_rounds = 3
+    print("building scenario ...")
+    scenario = build_scenario(config)
+    cogent = scenario.topology.cogent_asn
+
+    print("\n--- step 1: wrongly-P2P T1-TR links -------------------------")
+    result = scenario.case_study("asrank")
+    print(f"{result.n_wrong} T1-TR links are inferred P2P but validated P2C")
+
+    print("\n--- step 2: concentration on one clique member ---------------")
+    rows = [
+        [f"AS{member}", str(count), "<- Cogent" if member == cogent else ""]
+        for member, count in sorted(
+            result.per_member_counts.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    print(format_table(["clique member", "wrong links", ""], rows))
+    print(f"AS{result.focus_member} is involved in "
+          f"{result.focus_share:.0%} of them (paper: 54 of 111 = 49%)")
+
+    print("\n--- step 3: the missing triplets ------------------------------")
+    with_evidence = sum(1 for t in result.targets if t.has_clique_triplet)
+    print(f"targets with a 'C | AS{cogent} | X' triplet in the corpus: "
+          f"{with_evidence} of {len(result.targets)}")
+    print("without such a triplet, ASRank has no descending evidence and "
+          "defaults the link to P2P")
+
+    print("\n--- step 4: the looking glass ---------------------------------")
+    glass = LookingGlass(scenario.topology, scenario.communities)
+    marker = scenario.communities.codebook(cogent).encode(
+        Meaning.NO_EXPORT_TO_PEERS
+    )
+    print(f"AS{cogent}'s do-not-export-to-peers community: "
+          f"{marker[0]}:{marker[1]}")
+    rows = []
+    for target in result.targets[:10]:
+        routes = glass.routes_received(cogent, target.other)
+        tagged = sum(1 for r in routes if r.has_community(marker))
+        rows.append([
+            f"AS{target.other}",
+            str(len(routes)),
+            str(tagged),
+            "partial transit" if target.tagged_no_export
+            else ("stale validation" if target.stale_validation else "?"),
+        ])
+    print(format_table(
+        ["neighbor", "routes received", f"tagged {marker[0]}:{marker[1]}",
+         "verdict"],
+        rows,
+    ))
+    print(f"\nconfirmed partial transit: {result.n_partial_transit_confirmed} "
+          f"of {len(result.targets)} audited targets; "
+          f"stale validation: {result.n_stale_validation} "
+          "(the paper found 1 such case)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a reproduction of Prehn & Feldmann, "How biased is our
+Validation (Data) for AS Relationships?" (IMC 2021).
+
+The library builds a synthetic Internet with ground-truth AS business
+relationships, measures it through biased route collectors, compiles
+"best-effort" validation data from BGP community documentation the way
+the community does, reimplements the ASRank / ProbLink / TopoScope
+inference algorithms (plus Gao's baseline), and reproduces the paper's
+entire bias and implication analysis.
+
+Quick start::
+
+    from repro import ScenarioConfig, build_scenario
+
+    scenario = build_scenario(ScenarioConfig.default())
+    print(scenario.regional_bias().classes[:5])          # Figure 1
+    print(scenario.validation_table("asrank").total)     # Table 1
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config import (
+    MeasurementConfig,
+    ScenarioConfig,
+    TopologyConfig,
+    ValidationConfig,
+)
+from repro.scenario import (
+    ALGORITHM_NAMES,
+    Scenario,
+    build_scenario,
+    default_scenario,
+    small_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MeasurementConfig",
+    "ScenarioConfig",
+    "TopologyConfig",
+    "ValidationConfig",
+    "ALGORITHM_NAMES",
+    "Scenario",
+    "build_scenario",
+    "default_scenario",
+    "small_scenario",
+    "__version__",
+]

@@ -1,0 +1,104 @@
+"""Bias analysis: link shares and validation coverage (Figures 1-2).
+
+For a set of inferred links, a classifier (regional or topological),
+and a validation set, :func:`bias_profile` computes per class
+
+* the **share** of inferred links falling into the class (the top bar
+  row of Figures 1 and 2), and
+* the **validation coverage** — the fraction of the class's inferred
+  links for which a validation label exists (the bottom row).
+
+The *mismatch* the paper highlights is a class holding a large share of
+inferred links but (almost) no validation coverage: LACNIC-internal
+links and the big S-TR / TR° classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.topology.graph import LinkKey
+from repro.validation.cleaning import CleanedValidation
+
+#: Anything that maps a link to a class label (or None to discard it).
+LinkClassifier = Callable[[LinkKey], Optional[str]]
+
+
+@dataclass(frozen=True)
+class ClassBias:
+    """One bar pair of Figure 1/2."""
+
+    class_name: str
+    n_links: int
+    share: float
+    n_validated: int
+    coverage: float
+
+
+@dataclass
+class BiasProfile:
+    """All classes of one grouping, largest share first."""
+
+    classes: List[ClassBias]
+
+    def by_name(self) -> Dict[str, ClassBias]:
+        return {c.class_name: c for c in self.classes}
+
+    def top(self, n: int) -> List[ClassBias]:
+        return self.classes[:n]
+
+    def coverage_spread(self) -> float:
+        """Max minus min coverage across classes — a one-number summary
+        of how unevenly validation covers the groups."""
+        if not self.classes:
+            return 0.0
+        coverages = [c.coverage for c in self.classes]
+        return max(coverages) - min(coverages)
+
+    def mismatch_classes(
+        self, min_share: float = 0.05, max_coverage: float = 0.02
+    ) -> List[ClassBias]:
+        """Classes with a substantial link share but (nearly) no
+        validation — the paper's headline finding shape."""
+        return [
+            c
+            for c in self.classes
+            if c.share >= min_share and c.coverage <= max_coverage
+        ]
+
+
+def bias_profile(
+    links: Iterable[LinkKey],
+    classifier: LinkClassifier,
+    validation: CleanedValidation,
+    min_class_links: int = 1,
+) -> BiasProfile:
+    """Compute shares and coverage per class over ``links``."""
+    counts: Dict[str, int] = {}
+    validated: Dict[str, int] = {}
+    total = 0
+    for key in links:
+        label = classifier(key)
+        if label is None:
+            continue
+        total += 1
+        counts[label] = counts.get(label, 0) + 1
+        if key in validation:
+            validated[label] = validated.get(label, 0) + 1
+    classes = []
+    for label, n_links in counts.items():
+        if n_links < min_class_links:
+            continue
+        n_val = validated.get(label, 0)
+        classes.append(
+            ClassBias(
+                class_name=label,
+                n_links=n_links,
+                share=n_links / total if total else 0.0,
+                n_validated=n_val,
+                coverage=n_val / n_links if n_links else 0.0,
+            )
+        )
+    classes.sort(key=lambda c: (-c.share, c.class_name))
+    return BiasProfile(classes=classes)

@@ -1,0 +1,113 @@
+"""Link classes: the regional and topological grouping of §5.
+
+Two classifiers map every AS link to a class label:
+
+* :class:`RegionalClassifier` — per the RIR service region of both
+  endpoints: ``R°`` for RIPE-internal links, ``AP-AR`` for links
+  between APNIC and ARIN ASes, and so on.  Cross-region class names put
+  the lexicographically smaller abbreviation first; links with a
+  reserved/unmapped endpoint are discarded (``None``), as in the paper.
+* :class:`TopologicalClassifier` — per the endpoints' position in the
+  hierarchy: Hypergiant (H) from the Böttger-style list, Tier-1 (T1)
+  from the Wikipedia-style list, otherwise Transit (TR) or Stub (S) by
+  whether the AS has a non-empty *inferred* customer cone.  Class names
+  order the sides H, S, T1, TR, matching the paper's figures.
+
+Both classifiers work from dataset artefacts (region map, curated
+lists, inferred relationships) — never from generator ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.datasets.asrel import RelationshipSet
+from repro.datasets.customercone import stub_transit_split
+from repro.topology.external_lists import ExternalLists
+from repro.topology.graph import LinkKey
+from repro.topology.regions import Region, RegionMap
+
+#: Suffix used for region/class-internal links, as in the paper.
+INTERNAL_MARK = "°"
+
+#: Name ordering of topological sides (paper's figure labels).
+_TOPO_ORDER = {"H": 0, "S": 1, "T1": 2, "TR": 3}
+
+
+class RegionalClassifier:
+    """Maps links to regional classes via a :class:`RegionMap`."""
+
+    def __init__(self, region_map: RegionMap) -> None:
+        self.region_map = region_map
+
+    def as_region(self, asn: int) -> Optional[Region]:
+        return self.region_map.lookup(asn)
+
+    def classify(self, key: LinkKey) -> Optional[str]:
+        """Class label for a link, or ``None`` if an endpoint has no
+        region (reserved / unassigned ASN)."""
+        region_a = self.region_map.lookup(key[0])
+        region_b = self.region_map.lookup(key[1])
+        if region_a is None or region_b is None:
+            return None
+        abbr_a, abbr_b = region_a.abbreviation, region_b.abbreviation
+        if abbr_a == abbr_b:
+            return f"{abbr_a}{INTERNAL_MARK}"
+        lo, hi = sorted((abbr_a, abbr_b))
+        return f"{lo}-{hi}"
+
+    def classify_links(
+        self, links: Iterable[LinkKey]
+    ) -> Dict[str, List[LinkKey]]:
+        """Group links by class, dropping unmappable ones."""
+        grouped: Dict[str, List[LinkKey]] = {}
+        for key in links:
+            label = self.classify(key)
+            if label is not None:
+                grouped.setdefault(label, []).append(key)
+        return grouped
+
+
+class TopologicalClassifier:
+    """Maps links to topological classes (H / S / T1 / TR sides)."""
+
+    def __init__(
+        self,
+        external_lists: ExternalLists,
+        inferred_rels: RelationshipSet,
+        universe: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.external_lists = external_lists
+        self._is_transit = stub_transit_split(inferred_rels, universe=universe)
+
+    def as_class(self, asn: int) -> str:
+        """"H", "T1", "TR", or "S" with the paper's precedence."""
+        hint = self.external_lists.classify_hint(asn)
+        if hint:
+            return hint
+        return "TR" if self._is_transit.get(asn, False) else "S"
+
+    def classify(self, key: LinkKey) -> str:
+        side_a = self.as_class(key[0])
+        side_b = self.as_class(key[1])
+        if side_a == side_b:
+            return f"{side_a}{INTERNAL_MARK}"
+        lo, hi = sorted((side_a, side_b), key=lambda s: _TOPO_ORDER[s])
+        return f"{lo}-{hi}"
+
+    def classify_links(
+        self, links: Iterable[LinkKey]
+    ) -> Dict[str, List[LinkKey]]:
+        grouped: Dict[str, List[LinkKey]] = {}
+        for key in links:
+            grouped.setdefault(self.classify(key), []).append(key)
+        return grouped
+
+
+def transit_internal_links(
+    classifier: TopologicalClassifier, links: Iterable[LinkKey]
+) -> List[LinkKey]:
+    """The TR° links (both sides plain transit) — the population of the
+    Figure 3 / 7-9 heatmaps."""
+    mark = f"TR{INTERNAL_MARK}"
+    return [key for key in links if classifier.classify(key) == mark]

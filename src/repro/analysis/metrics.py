@@ -1,0 +1,155 @@
+"""Classification-correctness metrics (§6 of the paper).
+
+The paper evaluates each classifier with two binary confusion matrices
+per link class — one treating P2C as the positive class, one treating
+P2P as positive — and reports precision (PPV), recall (TPR), the link
+counts, and Matthews' correlation coefficient (MCC) as a symmetric
+summary.  The Fowlkes-Mallows index, balanced accuracy and F1 are
+implemented too (the paper mentions them as the metrics it chose *not*
+to show), so the reporting layer can reproduce footnotes 9-10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.datasets.asrel import RelationshipSet
+from repro.topology.graph import LinkKey, RelType
+from repro.validation.cleaning import CleanedValidation
+
+
+@dataclass(frozen=True)
+class BinaryConfusion:
+    """A 2x2 confusion matrix."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def positives(self) -> int:
+        """Ground-truth positives (the paper's ``LC`` link counts)."""
+        return self.tp + self.fn
+
+    def ppv(self) -> float:
+        """Precision; 0 when nothing was predicted positive."""
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    def tpr(self) -> float:
+        """Recall; 0 when there are no positives."""
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    def f1(self) -> float:
+        p, r = self.ppv(), self.tpr()
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def balanced_accuracy(self) -> float:
+        tnr_denominator = self.tn + self.fp
+        tnr = self.tn / tnr_denominator if tnr_denominator else 0.0
+        return (self.tpr() + tnr) / 2
+
+    def mcc(self) -> float:
+        """Matthews correlation coefficient in [-1, 1]; 0 on degenerate
+        matrices (any all-zero margin), following Chicco et al."""
+        tp, fp, tn, fn = self.tp, self.fp, self.tn, self.fn
+        denominator = math.sqrt(
+            float(tp + fp) * (tp + fn) * (tn + fp) * (tn + fn)
+        )
+        if denominator == 0:
+            return 0.0
+        return (tp * tn - fp * fn) / denominator
+
+    def fowlkes_mallows(self) -> float:
+        """Geometric mean of precision and recall."""
+        return math.sqrt(self.ppv() * self.tpr())
+
+    def flipped(self) -> "BinaryConfusion":
+        """The same matrix with the positive class swapped."""
+        return BinaryConfusion(tp=self.tn, fp=self.fn, tn=self.tp, fn=self.fp)
+
+
+def confusion_for_links(
+    links: Iterable[LinkKey],
+    inferred: RelationshipSet,
+    validation: CleanedValidation,
+    positive: RelType,
+) -> BinaryConfusion:
+    """Confusion matrix over the validated subset of ``links``.
+
+    Only links present in *both* the inference and the cleaned
+    validation data contribute; S2S validation entries are skipped (the
+    cleaning layer removes them, but hand-built data may contain them).
+    """
+    if positive not in (RelType.P2C, RelType.P2P):
+        raise ValueError("positive class must be P2C or P2P")
+    tp = fp = tn = fn = 0
+    for key in links:
+        true_rel = validation.rel_of(key)
+        if true_rel is None or true_rel is RelType.S2S:
+            continue
+        pred_rel = inferred.rel_of(*key)
+        if pred_rel is None:
+            continue
+        pred_rel = RelType.P2P if pred_rel is RelType.P2P else RelType.P2C
+        truth_positive = true_rel is positive
+        pred_positive = pred_rel is positive
+        if truth_positive and pred_positive:
+            tp += 1
+        elif truth_positive:
+            fn += 1
+        elif pred_positive:
+            fp += 1
+        else:
+            tn += 1
+    return BinaryConfusion(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """One row of the paper's Tables 1-3."""
+
+    class_name: str
+    ppv_p2p: float
+    tpr_p2p: float
+    n_p2p: int
+    ppv_p2c: float
+    tpr_p2c: float
+    n_p2c: int
+    mcc: float
+    fowlkes_mallows: float
+
+    @classmethod
+    def from_links(
+        cls,
+        class_name: str,
+        links: Iterable[LinkKey],
+        inferred: RelationshipSet,
+        validation: CleanedValidation,
+    ) -> "ClassMetrics":
+        links = list(links)
+        conf_p2p = confusion_for_links(links, inferred, validation, RelType.P2P)
+        conf_p2c = conf_p2p.flipped()
+        return cls(
+            class_name=class_name,
+            ppv_p2p=conf_p2p.ppv(),
+            tpr_p2p=conf_p2p.tpr(),
+            n_p2p=conf_p2p.positives,
+            ppv_p2c=conf_p2c.ppv(),
+            tpr_p2c=conf_p2c.tpr(),
+            n_p2c=conf_p2c.positives,
+            mcc=conf_p2p.mcc(),
+            fowlkes_mallows=conf_p2p.fowlkes_mallows(),
+        )
+
+    @property
+    def n_validated(self) -> int:
+        return self.n_p2p + self.n_p2c

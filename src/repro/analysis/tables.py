@@ -1,0 +1,170 @@
+"""Per-group validation tables (Tables 1-3 of the paper).
+
+Each table has one row per link class (regional and topological classes
+with enough validated links, plus the ``Total°`` row for the entire
+validation set) and the columns
+
+    PPV_P  TPR_P  LC_P  PPV_C  TPR_C  LC_C  MCC
+
+The paper colours cells relative to the ``Total°`` row: green when at
+least 1 % better, yellow / orange / red when at least 1 % / 5 % / 10 %
+worse.  The same thresholds are implemented here as
+:class:`CellColour` annotations so the benchmark output carries the
+paper's visual message in plain text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.bias import LinkClassifier
+from repro.analysis.metrics import ClassMetrics
+from repro.datasets.asrel import RelationshipSet
+from repro.topology.graph import LinkKey
+from repro.validation.cleaning import CleanedValidation
+
+#: Paper row order for the default class set.
+PAPER_CLASS_ORDER: Tuple[str, ...] = (
+    "Total°",
+    "AP-AR",
+    "AP-R",
+    "AP°",
+    "AR-L",
+    "AR-R",
+    "AR°",
+    "R°",
+    "S-T1",
+    "S-TR",
+    "T1-TR",
+    "TR°",
+)
+
+
+class CellColour(enum.Enum):
+    """Colour classes of the paper's tables (relative to Total°)."""
+
+    GREEN = "green"    # >= 1 % better
+    NEUTRAL = ""       # within +-1 %
+    YELLOW = "yellow"  # >= 1 % worse
+    ORANGE = "orange"  # >= 5 % worse
+    RED = "red"        # >= 10 % worse
+
+    @classmethod
+    def grade(cls, value: float, reference: float) -> "CellColour":
+        delta = value - reference
+        if delta >= 0.01:
+            return cls.GREEN
+        if delta <= -0.10:
+            return cls.RED
+        if delta <= -0.05:
+            return cls.ORANGE
+        if delta <= -0.01:
+            return cls.YELLOW
+        return cls.NEUTRAL
+
+    def mark(self) -> str:
+        """One-character suffix used in text rendering."""
+        return {
+            CellColour.GREEN: "+",
+            CellColour.NEUTRAL: " ",
+            CellColour.YELLOW: "~",
+            CellColour.ORANGE: "!",
+            CellColour.RED: "*",
+        }[self]
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One class row with its colour annotations."""
+
+    metrics: ClassMetrics
+    colour_ppv_p2p: CellColour
+    colour_tpr_p2p: CellColour
+    colour_ppv_p2c: CellColour
+    colour_tpr_p2c: CellColour
+    colour_mcc: CellColour
+
+
+@dataclass
+class ValidationTable:
+    """A full per-group validation table for one algorithm."""
+
+    algorithm: str
+    total: ClassMetrics
+    rows: List[TableRow]
+
+    def row(self, class_name: str) -> Optional[TableRow]:
+        for row in self.rows:
+            if row.metrics.class_name == class_name:
+                return row
+        return None
+
+    def metrics(self, class_name: str) -> Optional[ClassMetrics]:
+        if class_name == self.total.class_name:
+            return self.total
+        row = self.row(class_name)
+        return row.metrics if row else None
+
+    def worst_p2p_classes(self, n: int = 3) -> List[ClassMetrics]:
+        """Classes with the lowest P2P precision (the paper's AR-L,
+        S-T1, T1-TR finding), among rows with at least one P2P link."""
+        candidates = [r.metrics for r in self.rows if r.metrics.n_p2p > 0]
+        candidates.sort(key=lambda m: (m.ppv_p2p, m.class_name))
+        return candidates[:n]
+
+
+def build_table(
+    algorithm: str,
+    inferred: RelationshipSet,
+    validation: CleanedValidation,
+    classifiers: Sequence[LinkClassifier],
+    evaluation_links: Iterable[LinkKey],
+    min_class_links: int = 20,
+    class_order: Optional[Sequence[str]] = None,
+) -> ValidationTable:
+    """Assemble the table over the evaluation link set.
+
+    ``classifiers`` typically holds the regional and the topological
+    classifier; a link contributes one row membership per classifier
+    (the paper mixes both groupings in one table).  Classes with fewer
+    than ``min_class_links`` validated links are dropped, mirroring the
+    paper's ">= 500 relationships in summary" cut-off (scaled down for
+    smaller scenarios via the parameter).
+    """
+    links = list(evaluation_links)
+    grouped: Dict[str, List[LinkKey]] = {}
+    for key in links:
+        for classifier in classifiers:
+            label = classifier(key)
+            if label is not None:
+                grouped.setdefault(label, []).append(key)
+
+    total = ClassMetrics.from_links("Total°", links, inferred, validation)
+    rows: List[TableRow] = []
+    for class_name, class_links in grouped.items():
+        metrics = ClassMetrics.from_links(
+            class_name, class_links, inferred, validation
+        )
+        if metrics.n_validated < min_class_links:
+            continue
+        rows.append(
+            TableRow(
+                metrics=metrics,
+                colour_ppv_p2p=CellColour.grade(metrics.ppv_p2p, total.ppv_p2p),
+                colour_tpr_p2p=CellColour.grade(metrics.tpr_p2p, total.tpr_p2p),
+                colour_ppv_p2c=CellColour.grade(metrics.ppv_p2c, total.ppv_p2c),
+                colour_tpr_p2c=CellColour.grade(metrics.tpr_p2c, total.tpr_p2c),
+                colour_mcc=CellColour.grade(metrics.mcc, total.mcc),
+            )
+        )
+    order = list(class_order) if class_order else list(PAPER_CLASS_ORDER)
+    position = {name: i for i, name in enumerate(order)}
+    rows.sort(
+        key=lambda r: (
+            position.get(r.metrics.class_name, len(order)),
+            r.metrics.class_name,
+        )
+    )
+    return ValidationTable(algorithm=algorithm, total=total, rows=rows)

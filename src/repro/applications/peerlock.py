@@ -1,0 +1,163 @@
+"""Peerlock configuration generation (§7 of the paper).
+
+Peerlock (McDaniel, Smith & Schuchard) prevents *route leaks* among
+high-tier networks: if AS A and AS B are peers (or B is A's customer),
+A should never learn a route to B's prefixes through a *third* AS that
+is not B's upstream — seeing ``... C ... B`` with C below B signals a
+leak.  Operationally, participants install filters that drop routes
+containing protected peers in the middle of the AS path when received
+from sessions that should never carry them.
+
+The paper proposes Peerlock configuration generation as an *incentive*
+for operators to share accurate relationship data: the better the
+relationship feed, the tighter the generated filters.  This module
+implements that generator:
+
+* for a given AS, derive its protected set (peers that are Tier-1/clique
+  members plus explicitly listed partners);
+* emit per-session filter rules — drop routes whose AS path contains a
+  protected AS when the session partner is *not* that AS or one of its
+  (known) upstreams;
+* render the rules as router-ish configuration text.
+
+Because filters derive from relationship data, misclassified
+relationships produce either missing protection (P2C mistaken for P2P)
+or over-filtering — the quantitative face of the paper's warning about
+downstream consequences.  :func:`evaluate_protection` measures both
+against a reference relationship set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datasets.asrel import RelationshipSet
+from repro.topology.graph import RelType
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """One Peerlock filter: on sessions with ``session_partner`` (or on
+    all sessions when ``None``), drop routes whose path contains
+    ``protected`` unless received from an allowed neighbour."""
+
+    protected: int
+    allowed_neighbors: Tuple[int, ...]
+
+    def blocks(self, received_from: int, path: Sequence[int]) -> bool:
+        """Would this rule drop a route with ``path`` received over the
+        session with ``received_from``?"""
+        if self.protected not in path:
+            return False
+        if received_from == self.protected:
+            return False
+        return received_from not in self.allowed_neighbors
+
+
+@dataclass
+class PeerlockConfig:
+    """The generated configuration for one AS."""
+
+    asn: int
+    rules: List[FilterRule] = field(default_factory=list)
+
+    @property
+    def protected_set(self) -> Set[int]:
+        return {rule.protected for rule in self.rules}
+
+    def filters_route(self, received_from: int, path: Sequence[int]) -> bool:
+        """True when any rule drops the route."""
+        return any(rule.blocks(received_from, path) for rule in self.rules)
+
+    def render(self) -> str:
+        """Router-ish configuration text (one as-path filter per rule)."""
+        lines = [f"! peerlock filters for AS{self.asn}", "!"]
+        for index, rule in enumerate(self.rules, 1):
+            allowed = " ".join(f"AS{n}" for n in rule.allowed_neighbors) or "-"
+            lines.append(
+                f"as-path access-list PEERLOCK-{index} deny _({rule.protected})_"
+            )
+            lines.append(f"! exempt sessions: AS{rule.protected} {allowed}")
+        lines.append("!")
+        return "\n".join(lines)
+
+
+def generate_peerlock(
+    asn: int,
+    rels: RelationshipSet,
+    protected: Optional[Iterable[int]] = None,
+) -> PeerlockConfig:
+    """Build the Peerlock configuration for ``asn`` from relationships.
+
+    Parameters
+    ----------
+    asn:
+        The operator deploying the filters.
+    rels:
+        Relationship data (inferred or reported).  Peers of ``asn`` are
+        protected by default; the allowed receive-sessions for each
+        protected AS P are P itself and P's known upstreams (providers),
+        because those may legitimately announce paths containing P.
+    protected:
+        Override the protected set (e.g. the Tier-1 clique, Peerlock's
+        original deployment).
+    """
+    neighbors: Dict[int, RelType] = {}
+    for key, rel, provider in rels.items():
+        if asn in key:
+            other = key[0] if key[1] == asn else key[1]
+            neighbors[other] = rel
+    if protected is None:
+        protected = [
+            other for other, rel in neighbors.items() if rel is RelType.P2P
+        ]
+    config = PeerlockConfig(asn=asn)
+    providers_of: Dict[int, Set[int]] = {}
+    for key, rel, provider in rels.items():
+        if rel is RelType.P2C:
+            customer = key[0] if key[1] == provider else key[1]
+            providers_of.setdefault(customer, set()).add(provider)
+    for target in sorted(set(protected)):
+        if target == asn:
+            continue
+        allowed = tuple(sorted(providers_of.get(target, set()) - {asn}))
+        config.rules.append(FilterRule(protected=target, allowed_neighbors=allowed))
+    return config
+
+
+@dataclass(frozen=True)
+class ProtectionScore:
+    """How well a config generated from one relationship view performs
+    against the reference view."""
+
+    n_rules: int
+    #: protected ASes missing because the data misclassified the
+    #: peering (P2P seen as P2C): leaks through these stay possible.
+    missing_protection: int
+    #: rules protecting ASes that are not actually peers: legitimate
+    #: routes may be dropped (the IXP spoofed-packet example of §2 is
+    #: the same failure shape).
+    spurious_protection: int
+
+    @property
+    def exact(self) -> bool:
+        return self.missing_protection == 0 and self.spurious_protection == 0
+
+
+def evaluate_protection(
+    asn: int,
+    config: PeerlockConfig,
+    reference: RelationshipSet,
+) -> ProtectionScore:
+    """Compare a generated config against reference relationships."""
+    true_peers = set()
+    for key, rel, _provider in reference.items():
+        if asn in key and rel is RelType.P2P:
+            true_peers.add(key[0] if key[1] == asn else key[1])
+    protected = config.protected_set
+    return ProtectionScore(
+        n_rules=len(config.rules),
+        missing_protection=len(true_peers - protected),
+        spurious_protection=len(protected - true_peers),
+    )

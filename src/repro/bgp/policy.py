@@ -1,0 +1,126 @@
+"""Routing policy: route classes, preference, and export rules.
+
+The simulator implements the standard Gao-Rexford policy model:
+
+* **Preference**: routes learned from customers are preferred over
+  routes learned from peers, which are preferred over routes learned
+  from providers; ties break on shorter AS path, then on lower
+  next-hop ASN (deterministic).
+* **Export**: routes learned from customers (and an AS's own routes)
+  are exported to everyone; routes learned from peers or providers are
+  exported to customers only.
+
+Two refinements:
+
+* **Partial transit** (§6.1 of the paper): when a customer attaches the
+  provider's *do-not-export-to-peers* community, the provider treats the
+  customer-learned route as customer-preferred but **peer-exported** —
+  it reaches the provider's customers only.  This is exactly why no
+  ``clique | Cogent | X`` triplet exists for such links.
+* **Siblings**: S2S links are modelled as peering links for propagation
+  purposes (preference slot between customer and provider, export to
+  customers only).  Real sibling route sharing is richer, but sibling
+  links are excluded from validation anyway (§4.2), so only their
+  existence — not their exact propagation — matters for the analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.topology.graph import ASGraph, RelType
+
+
+class RouteClass(enum.IntEnum):
+    """How an AS learned a route; lower is more preferred."""
+
+    SELF = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+def exports_to_non_customers(route_class: RouteClass, restricted: bool) -> bool:
+    """Gao-Rexford export rule for peer/provider-facing sessions.
+
+    ``restricted`` marks customer routes received over a partial-transit
+    link: preference-wise they are customer routes, export-wise they
+    behave like peer routes.
+    """
+    if restricted:
+        return False
+    return route_class in (RouteClass.SELF, RouteClass.CUSTOMER)
+
+
+class AdjacencyIndex:
+    """Flat adjacency lists extracted once from an :class:`ASGraph`.
+
+    Propagation runs per origin over these plain dict/list structures —
+    the graph object itself is too pointer-chasing-heavy for the inner
+    loop.  Sibling links are folded into the peer lists (see module
+    docstring); partial-transit links are kept as a set of
+    ``(provider, customer)`` pairs.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        exclude: Optional[Set[Tuple[int, int]]] = None,
+    ) -> None:
+        """``exclude`` removes the given (canonical-key) links from the
+        index — used to simulate routing churn (link failures)."""
+        asns = graph.asns()
+        self.asns: List[int] = asns
+        self.providers: Dict[int, List[int]] = {a: [] for a in asns}
+        self.customers: Dict[int, List[int]] = {a: [] for a in asns}
+        self.peers: Dict[int, List[int]] = {a: [] for a in asns}
+        self.partial: Set[Tuple[int, int]] = set()
+        exclude = exclude or set()
+        for link in graph.links():
+            if link.key in exclude:
+                continue
+            if link.rel is RelType.P2C:
+                self.customers[link.provider].append(link.customer)
+                self.providers[link.customer].append(link.provider)
+                if link.partial_transit:
+                    self.partial.add((link.provider, link.customer))
+            else:  # P2P and S2S both propagate as peering
+                self.peers[link.provider].append(link.customer)
+                self.peers[link.customer].append(link.provider)
+        # Deterministic neighbour order makes tie-breaking reproducible.
+        for table in (self.providers, self.customers, self.peers):
+            for neighbor_list in table.values():
+                neighbor_list.sort()
+
+    def route_class(self, receiver: int, sender: int) -> RouteClass:
+        """The class of a route ``receiver`` learns from ``sender``."""
+        if sender in self._customers_set(receiver):
+            return RouteClass.CUSTOMER
+        if sender in self._peers_set(receiver):
+            return RouteClass.PEER
+        if sender in self._providers_set(receiver):
+            return RouteClass.PROVIDER
+        raise ValueError(f"AS{sender} is not a neighbor of AS{receiver}")
+
+    # Cached set views for membership tests --------------------------------
+    def _customers_set(self, asn: int) -> Set[int]:
+        cache = getattr(self, "_cust_cache", None)
+        if cache is None:
+            cache = {a: set(v) for a, v in self.customers.items()}
+            self._cust_cache = cache
+        return cache.get(asn, set())
+
+    def _peers_set(self, asn: int) -> Set[int]:
+        cache = getattr(self, "_peer_cache", None)
+        if cache is None:
+            cache = {a: set(v) for a, v in self.peers.items()}
+            self._peer_cache = cache
+        return cache.get(asn, set())
+
+    def _providers_set(self, asn: int) -> Set[int]:
+        cache = getattr(self, "_prov_cache", None)
+        if cache is None:
+            cache = {a: set(v) for a, v in self.providers.items()}
+            self._prov_cache = cache
+        return cache.get(asn, set())

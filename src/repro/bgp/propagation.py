@@ -1,0 +1,185 @@
+"""Per-origin best-route computation (the BGP decision process).
+
+For every origin AS the simulator computes the best route of *every*
+other AS under Gao-Rexford policies with the classic three-stage
+algorithm (customer routes first, then peer routes, then provider
+routes).  The result is a shortest-path-within-preference-class tree
+whose parent pointers reconstruct the exact AS path any vantage point
+would export to a route collector.
+
+Stage structure
+---------------
+1. **Customer routes** (export-all): breadth-first search from the
+   origin along customer-to-provider edges.  Routes crossing a
+   partial-transit link stop propagating upwards — the provider keeps a
+   customer-*preferred* route but exports it to customers only
+   (``restricted`` in the tree), reproducing the Cogent mechanism.
+2. **Peer routes**: every AS holding an export-all route offers it
+   across each of its peering links; the receiver adopts the best offer
+   unless it already holds a customer route.
+3. **Provider routes**: every routed AS exports down to its customers;
+   a bucket queue by path length keeps the within-class
+   shortest-path/lowest-ASN tie-break exact.
+
+All ties are broken deterministically: shorter path first, then lower
+neighbour ASN — the same convention real implementations approximate
+with router IDs, and the one ASRank-style inference assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bgp.policy import AdjacencyIndex, RouteClass
+
+#: Sentinel distance for "no route".
+_NO_ROUTE = -1
+
+
+@dataclass
+class RouteTree:
+    """Best routes of every AS towards one origin.
+
+    ``parent[asn]`` is the next hop towards the origin (``None`` at the
+    origin itself); ``pref``/``dist`` hold the route class and AS-path
+    length; ``restricted`` flags customer routes that arrived over a
+    partial-transit link and therefore do not propagate to peers or
+    providers.
+    """
+
+    origin: int
+    pref: Dict[int, RouteClass]
+    dist: Dict[int, int]
+    parent: Dict[int, Optional[int]]
+    restricted: Dict[int, bool]
+
+    def has_route(self, asn: int) -> bool:
+        return asn in self.pref
+
+    def path_from(self, asn: int) -> Optional[Tuple[int, ...]]:
+        """AS path from ``asn`` to the origin (inclusive), or ``None``.
+
+        The first element is ``asn`` itself, the last is the origin —
+        the order a collector would record after prepending the VP.
+        """
+        if asn not in self.pref:
+            return None
+        path: List[int] = [asn]
+        current: Optional[int] = asn
+        while True:
+            current = self.parent[current]
+            if current is None:
+                break
+            path.append(current)
+            if len(path) > len(self.pref) + 1:
+                raise RuntimeError("parent-pointer loop in route tree")
+        return tuple(path)
+
+
+def compute_route_tree(adj: AdjacencyIndex, origin: int) -> RouteTree:
+    """Run the three-stage decision process for one origin."""
+    pref: Dict[int, RouteClass] = {origin: RouteClass.SELF}
+    dist: Dict[int, int] = {origin: 0}
+    parent: Dict[int, Optional[int]] = {origin: None}
+    restricted: Dict[int, bool] = {origin: False}
+
+    providers = adj.providers
+    customers = adj.customers
+    peers = adj.peers
+    partial = adj.partial
+
+    # ---- stage 1: customer routes ------------------------------------
+    # Level-synchronous BFS upward.  ``frontier`` holds ASes whose route
+    # is export-all; restricted holders are recorded but not expanded.
+    frontier: List[int] = [origin]
+    level = 0
+    while frontier:
+        level += 1
+        candidates: Dict[int, int] = {}
+        for asn in frontier:
+            for provider in providers[asn]:
+                if provider in pref:
+                    continue
+                best = candidates.get(provider)
+                if best is None or asn < best:
+                    candidates[provider] = asn
+        next_frontier: List[int] = []
+        for provider, chosen_child in candidates.items():
+            pref[provider] = RouteClass.CUSTOMER
+            dist[provider] = level
+            parent[provider] = chosen_child
+            is_restricted = (provider, chosen_child) in partial
+            restricted[provider] = is_restricted
+            if not is_restricted:
+                next_frontier.append(provider)
+        frontier = next_frontier
+
+    # ---- stage 2: peer routes ----------------------------------------
+    # Offers come only from export-all holders (SELF or unrestricted
+    # CUSTOMER routes).  Each receiver takes the best offer.
+    offers: Dict[int, Tuple[int, int]] = {}  # receiver -> (dist, sender)
+    for sender, sender_pref in pref.items():
+        if sender_pref is RouteClass.CUSTOMER and restricted.get(sender):
+            continue
+        sender_dist = dist[sender]
+        for receiver in peers[sender]:
+            if receiver in pref:
+                continue
+            offer = offers.get(receiver)
+            candidate = (sender_dist, sender)
+            if offer is None or candidate < offer:
+                offers[receiver] = candidate
+    for receiver, (sender_dist, sender) in offers.items():
+        pref[receiver] = RouteClass.PEER
+        dist[receiver] = sender_dist + 1
+        parent[receiver] = sender
+        restricted[receiver] = False
+
+    # ---- stage 3: provider routes ------------------------------------
+    # Everyone with a route exports it to customers.  A bucket queue by
+    # path length realises within-class shortest-path tie-breaking.
+    buckets: Dict[int, List[int]] = {}
+    for asn, asn_dist in dist.items():
+        buckets.setdefault(asn_dist, []).append(asn)
+    current_level = 0
+    max_level = max(buckets) if buckets else 0
+    while current_level <= max_level:
+        senders = buckets.get(current_level)
+        if senders:
+            candidates = {}
+            for sender in senders:
+                for customer in customers[sender]:
+                    if customer in pref:
+                        continue
+                    best = candidates.get(customer)
+                    if best is None or sender < best:
+                        candidates[customer] = sender
+            for customer, sender in candidates.items():
+                pref[customer] = RouteClass.PROVIDER
+                dist[customer] = current_level + 1
+                parent[customer] = sender
+                restricted[customer] = False
+                buckets.setdefault(current_level + 1, []).append(customer)
+                if current_level + 1 > max_level:
+                    max_level = current_level + 1
+        current_level += 1
+
+    return RouteTree(
+        origin=origin, pref=pref, dist=dist, parent=parent, restricted=restricted
+    )
+
+
+def iter_route_trees(
+    adj: AdjacencyIndex, origins: Optional[Iterable[int]] = None
+) -> Iterable[RouteTree]:
+    """Yield the route tree of every origin (all ASes by default).
+
+    Trees are produced lazily so callers can extract vantage-point paths
+    and drop each tree before the next one is built — the full set of
+    trees would be quadratic in memory.
+    """
+    if origins is None:
+        origins = adj.asns
+    for origin in origins:
+        yield compute_route_tree(adj, origin)

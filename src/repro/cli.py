@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Exposes the reproduction pipeline without writing Python::
+
+    repro figures --ases 1000            # Figures 1-3
+    repro table asrank --ases 1000       # Tables 1-3 style output
+    repro casestudy                      # the §6.1 investigation
+    repro build --out ./artifacts        # export all dataset files
+    repro export --out ./results         # machine-readable results bundle
+    repro evolve --months 6              # §7 re-sampling experiment
+
+Every command accepts ``--ases``, ``--vps``, ``--seed`` and
+``--churn-rounds`` to size the synthetic Internet (defaults are scaled
+down from the paper-scale scenario so the CLI answers in seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import ScenarioConfig, build_scenario
+from repro.analysis.report import (
+    render_bias_figure,
+    render_imbalance_heatmaps,
+    render_validation_table,
+)
+from repro.scenario import ALGORITHM_NAMES, Scenario
+
+
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ases", type=int, default=1000,
+                        help="number of ASes (default 1000)")
+    parser.add_argument("--vps", type=int, default=90,
+                        help="number of vantage points (default 90)")
+    parser.add_argument("--seed", type=int, default=2018,
+                        help="scenario seed (default 2018)")
+    parser.add_argument("--churn-rounds", type=int, default=2,
+                        help="extra collection rounds with link churn")
+
+
+def _config_from(args: argparse.Namespace) -> ScenarioConfig:
+    config = ScenarioConfig.default().replace(seed=args.seed)
+    config.topology.n_ases = args.ases
+    config.measurement.n_vantage_points = args.vps
+    config.measurement.n_churn_rounds = args.churn_rounds
+    config.validate()
+    return config
+
+
+def _build(args: argparse.Namespace) -> Scenario:
+    print(
+        f"building scenario (ases={args.ases}, vps={args.vps}, "
+        f"seed={args.seed}) ...",
+        file=sys.stderr,
+    )
+    return build_scenario(_config_from(args))
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    scenario = _build(args)
+    print(render_bias_figure(scenario.regional_bias(),
+                             "Figure 1 — regional imbalance"))
+    print()
+    print(render_bias_figure(scenario.topological_bias(),
+                             "Figure 2 — topological imbalance"))
+    print()
+    print(render_imbalance_heatmaps(
+        scenario.imbalance_heatmaps("transit_degree", caps=(300.0, 60.0))
+    ))
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    scenario = _build(args)
+    for name in args.algorithms:
+        print(render_validation_table(scenario.validation_table(name)))
+        print()
+    return 0
+
+
+def cmd_casestudy(args: argparse.Namespace) -> int:
+    scenario = _build(args)
+    result = scenario.case_study("asrank")
+    print(f"wrongly-P2P T1-TR links: {result.n_wrong}")
+    print(f"focus clique member: AS{result.focus_member} "
+          f"({result.focus_share:.0%} of wrong links)")
+    print(f"looking-glass audited targets: {len(result.targets)}")
+    print(f"  partial transit confirmed: {result.n_partial_transit_confirmed}")
+    print(f"  stale validation: {result.n_stale_validation}")
+    triplets = sum(1 for t in result.targets if t.has_clique_triplet)
+    print(f"  targets with clique triplet evidence: {triplets}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from repro.datasets.as2org import write_as2org
+    from repro.datasets.asrel import write_asrel
+    from repro.datasets.bgpdump import write_path_corpus
+    from repro.datasets.delegation import write_delegation_files
+    from repro.datasets.iana import write_iana_registry
+
+    scenario = _build(args)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    write_asrel(scenario.infer("asrank"), out / "as-rel.txt",
+                header_lines=["inferred by asrank (repro simulator)"])
+    write_as2org(scenario.topology.orgs, out / "as2org.txt")
+    write_iana_registry(scenario.topology.region_map.iana_blocks,
+                        out / "as-numbers.csv")
+    assignments = {
+        node.asn: node.region
+        for node in scenario.topology.graph.nodes()
+        if node.region is not None
+    }
+    write_delegation_files(assignments, out / "delegations")
+    n_routes = write_path_corpus(scenario.corpus, out / "paths.txt")
+    print(f"wrote artifacts to {out} ({n_routes} routes)")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import write_results_bundle
+
+    scenario = _build(args)
+    directory = write_results_bundle(scenario, args.out)
+    files = sorted(f.name for f in directory.iterdir())
+    print(f"wrote results bundle to {directory}: {', '.join(files)}")
+    return 0
+
+
+def cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.evolution import EvolutionConfig, EvolutionSimulator
+
+    config = _config_from(args)
+    simulator = EvolutionSimulator(
+        config, EvolutionConfig(months=args.months)
+    )
+    print(f"evolving {args.months} months ...", file=sys.stderr)
+    result = simulator.run()
+    print("month  validated-links  visible-links")
+    for month, (labels, visible) in enumerate(
+        zip(result.monthly_label_counts, result.monthly_visible_links)
+    ):
+        print(f"{month:5d}  {labels:15d}  {visible:13d}")
+    gain = result.oversampling_gain(min_gap_months=args.resample_gap)
+    print(f"\nunique samples (gap >= {args.resample_gap} months): "
+          f"{result.temporal.unique_samples(args.resample_gap)}")
+    print(f"over-sampling gain vs best single snapshot: {gain:.2f}x")
+    print(f"links whose validated relationship changed: "
+          f"{len(result.temporal.changed_links())}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'How biased is our "
+                    "Validation (Data) for AS Relationships?' (IMC 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_figures = sub.add_parser("figures", help="print Figures 1-3")
+    _add_scenario_options(p_figures)
+    p_figures.set_defaults(func=cmd_figures)
+
+    p_table = sub.add_parser("table", help="print per-group validation tables")
+    p_table.add_argument("algorithms", nargs="+", choices=ALGORITHM_NAMES,
+                         help="algorithm(s) to evaluate")
+    _add_scenario_options(p_table)
+    p_table.set_defaults(func=cmd_table)
+
+    p_case = sub.add_parser("casestudy", help="run the §6.1 investigation")
+    _add_scenario_options(p_case)
+    p_case.set_defaults(func=cmd_casestudy)
+
+    p_build = sub.add_parser("build", help="export dataset artifacts")
+    p_build.add_argument("--out", default="./artifacts",
+                         help="output directory (default ./artifacts)")
+    _add_scenario_options(p_build)
+    p_build.set_defaults(func=cmd_build)
+
+    p_export = sub.add_parser(
+        "export", help="write the machine-readable results bundle"
+    )
+    p_export.add_argument("--out", default="./results",
+                          help="output directory (default ./results)")
+    _add_scenario_options(p_export)
+    p_export.set_defaults(func=cmd_export)
+
+    p_evolve = sub.add_parser("evolve",
+                              help="run the §7 re-sampling experiment")
+    p_evolve.add_argument("--months", type=int, default=6)
+    p_evolve.add_argument("--resample-gap", type=int, default=3,
+                          help="months before the same link counts again")
+    _add_scenario_options(p_evolve)
+    p_evolve.set_defaults(func=cmd_evolve)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

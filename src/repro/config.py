@@ -1,0 +1,305 @@
+"""Scenario configuration.
+
+A :class:`ScenarioConfig` fully determines a synthetic Internet: the
+topology (how many ASes per region and role, how they interconnect),
+the measurement layer (route collectors and their vantage points), and
+the validation layer (who documents their BGP community encodings, how
+dirty the scraped databases are).  Build one with
+:func:`ScenarioConfig.default` for the paper-scale scenario or
+:func:`ScenarioConfig.small` for fast unit tests, then hand it to
+:func:`repro.scenario.build_scenario`.
+
+Everything is an explicit field so that the ablation benchmarks
+(DESIGN.md §5) can vary one mechanism at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.topology.regions import Region
+
+
+def _region_dict(af: float, ap: float, ar: float, l: float, r: float) -> Dict[Region, float]:
+    """Shorthand for building per-region value tables."""
+    return {
+        Region.AFRINIC: af,
+        Region.APNIC: ap,
+        Region.ARIN: ar,
+        Region.LACNIC: l,
+        Region.RIPE: r,
+    }
+
+
+@dataclass
+class TopologyConfig:
+    """Knobs of the synthetic AS-level topology generator."""
+
+    #: Total number of ASes (all regions, all roles).
+    n_ases: int = 2500
+
+    #: Fraction of ASes registered in each region.  Calibrated so the
+    #: link-class shares come out close to Figure 1 of the paper
+    #: (region-internal links dominate, RIPE largest).
+    region_shares: Dict[Region, float] = field(
+        default_factory=lambda: _region_dict(af=0.045, ap=0.125, ar=0.175, l=0.17, r=0.485)
+    )
+
+    #: Number of provider-free Tier-1 (clique) ASes per region.  Real
+    #: Tier-1s cluster in the ARIN and RIPE regions.
+    clique_per_region: Dict[Region, int] = field(
+        default_factory=lambda: {
+            Region.ARIN: 8,
+            Region.RIPE: 6,
+            Region.APNIC: 2,
+        }
+    )
+
+    #: Number of hypergiants (large content providers) per region.
+    hypergiants_per_region: Dict[Region, int] = field(
+        default_factory=lambda: {
+            Region.ARIN: 9,
+            Region.RIPE: 4,
+            Region.APNIC: 2,
+        }
+    )
+
+    #: Fraction of (non-clique, non-hypergiant) ASes per transit tier;
+    #: the remainder become stubs.
+    large_transit_share: float = 0.02
+    mid_transit_share: float = 0.07
+    small_transit_share: float = 0.13
+
+    #: Provider-count distribution: probability of an AS having 1, 2, or
+    #: 3 providers (multi-homing).
+    provider_count_probs: Tuple[float, float, float] = (0.45, 0.4, 0.15)
+
+    #: Probability that a provider is chosen from region Y given the
+    #: customer sits in region X.  Rows must sum to 1.
+    provider_region_matrix: Dict[Region, Dict[Region, float]] = field(
+        default_factory=lambda: {
+            Region.AFRINIC: _region_dict(af=0.52, ap=0.03, ar=0.08, l=0.0, r=0.37),
+            Region.APNIC: _region_dict(af=0.0, ap=0.62, ar=0.16, l=0.0, r=0.22),
+            Region.ARIN: _region_dict(af=0.0, ap=0.03, ar=0.80, l=0.01, r=0.16),
+            Region.LACNIC: _region_dict(af=0.0, ap=0.01, ar=0.18, l=0.74, r=0.07),
+            Region.RIPE: _region_dict(af=0.01, ap=0.03, ar=0.07, l=0.005, r=0.885),
+        }
+    )
+
+    #: Probability that a bilateral/IXP peering partner is chosen within
+    #: the AS's own region ("keep local traffic local").
+    peer_same_region_prob: float = 0.82
+
+    #: Mean number of peers established per transit tier (Poisson).
+    peers_mean_small: float = 5.0
+    peers_mean_mid: float = 10.0
+    peers_mean_large: float = 16.0
+    peers_mean_hypergiant: float = 45.0
+    peers_mean_stub: float = 0.45
+
+    #: Fraction of large-transit ASes that obtain settlement-free
+    #: peering with individual clique members (T1-TR peering links).
+    t1_peering_prob_large: float = 0.22
+    t1_peering_prob_mid: float = 0.04
+
+    #: Number of special-business stubs (research networks, anycast DNS,
+    #: CDNs, cloud on-ramps) that peer directly with clique members —
+    #: the ground truth behind the paper's S-T1 discussion.
+    special_stub_count: int = 24
+    special_stub_t1_peers: Tuple[int, int] = (2, 5)
+
+    #: Number of IXPs per region (scaled by region share).
+    ixps_per_1000_ases: float = 4.0
+
+    #: Fraction of multi-AS organisations; extra sibling ASes per org.
+    multi_as_org_share: float = 0.045
+    max_siblings_per_org: int = 4
+
+    #: Probability that a sibling pair is directly interconnected (S2S
+    #: link); such links contaminate inference and validation data.
+    sibling_link_prob: float = 0.75
+
+    #: One clique member is designated the "Cogent-like" AS: a large
+    #: share of its transit-AS customers buy *partial transit* (routes
+    #: exported only to customers, never to peers — community 174:990
+    #: in the real world).  Other clique members show the behaviour too,
+    #: but rarely.
+    cogent_partial_transit_prob: float = 0.45
+    clique_partial_transit_prob: float = 0.04
+
+    #: Probability that a transit-to-transit peering link is "hybrid"
+    #: (different relationship at different PoPs — Giotsas et al. 2014).
+    hybrid_link_prob: float = 0.012
+
+    #: Fraction of ASes whose ASN is 32-bit only (affects AS_TRANS
+    #: plumbing realism and the delegation files).
+    asn_32bit_share: float = 0.35
+
+    #: Fraction of ASNs transferred between regions after the initial
+    #: IANA block assignment (exercises the delegation refinement).
+    inter_rir_transfer_share: float = 0.015
+
+
+@dataclass
+class MeasurementConfig:
+    """Route collectors and vantage-point placement."""
+
+    #: Number of ASes peering with the route collectors.
+    n_vantage_points: int = 160
+
+    #: Relative weight of picking a VP from each region; real collector
+    #: ecosystems (RouteViews, RIPE RIS) are RIPE/ARIN-heavy.
+    vp_region_weights: Dict[Region, float] = field(
+        default_factory=lambda: _region_dict(af=0.02, ap=0.10, ar=0.30, l=0.03, r=0.55)
+    )
+
+    #: Relative weight of picking a VP from each role class.  Collector
+    #: feeds come overwhelmingly from transit networks.
+    vp_role_weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            # Essentially every Tier-1 feeds RouteViews/RIS, hence the
+            # overwhelming clique weight.
+            "clique": 200.0,
+            "large_transit": 8.0,
+            "mid_transit": 4.0,
+            "small_transit": 1.5,
+            "stub": 0.15,
+            "hypergiant": 0.5,
+        }
+    )
+
+    #: Probability that a VP is a full feeder (exports its whole best
+    #: path table); otherwise it exports customer routes only.
+    full_feed_prob: float = 0.72
+
+    #: Probability that an AS strips (does not propagate) informational
+    #: communities it receives before re-exporting a route.
+    community_strip_prob: float = 0.3
+
+    #: Number of additional collection rounds with simulated routing
+    #: churn (random link failures) merged into the corpus.  A real
+    #: monthly corpus contains paths from many routing states, which is
+    #: what gives backup transit links their triplet evidence; a single
+    #: converged snapshot systematically lacks it.
+    n_churn_rounds: int = 6
+
+    #: Per-link failure probability in each churn round.
+    churn_link_failure_prob: float = 0.05
+
+
+@dataclass
+class ValidationConfig:
+    """The community-documentation publication model and database dirt."""
+
+    #: Probability that an AS of a given role publicly documents its BGP
+    #: community encodings (in IRR remarks / on its website).
+    doc_prob_by_role: Dict[str, float] = field(
+        default_factory=lambda: {
+            "clique": 0.92,
+            "large_transit": 0.20,
+            "mid_transit": 0.055,
+            "small_transit": 0.022,
+            "stub": 0.0035,
+            "hypergiant": 0.08,
+        }
+    )
+
+    #: Regional multiplier on the documentation probability.  This is
+    #: the mechanism behind Figure 1's coverage row: community
+    #: documentation culture is strong around ARIN/RIPE operator
+    #: communities and essentially absent in the LACNIC region's data.
+    doc_region_multiplier: Dict[Region, float] = field(
+        default_factory=lambda: _region_dict(af=0.15, ap=0.35, ar=1.3, l=0.008, r=0.7)
+    )
+
+    #: Probability that a documented encoding is stale/wrong, yielding
+    #: an incorrect validation label (§6.1 found one such case).
+    stale_encoding_prob: float = 0.004
+
+    #: Raw-database dirt injected before cleaning (§4.2 counts these):
+    #: relationships claimed with AS_TRANS and with reserved ASNs.
+    n_as_trans_entries: int = 15
+    n_reserved_asn_entries: int = 112
+
+    #: Extra stale RPSL/WHOIS-derived labels (import/export lines that
+    #: no longer match reality).
+    rpsl_record_prob: float = 0.06
+    rpsl_stale_prob: float = 0.08
+
+    #: Number of relationships reported directly by operators (the
+    #: paper's source (i)); sampled uniformly from true links.
+    n_direct_reports: int = 60
+
+
+@dataclass
+class ScenarioConfig:
+    """Top-level configuration: one object describes one experiment."""
+
+    seed: int = 2018
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
+    validation: ValidationConfig = field(default_factory=ValidationConfig)
+
+    #: Snapshot date stamped into generated dataset files; the paper
+    #: works on the April 2018 snapshot throughout.
+    snapshot: str = "20180401"
+
+    @classmethod
+    def default(cls) -> "ScenarioConfig":
+        """The paper-scale scenario (April 2018, seed 2018)."""
+        return cls()
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "ScenarioConfig":
+        """A fast, few-hundred-AS scenario for unit tests."""
+        topology = TopologyConfig(
+            n_ases=320,
+            clique_per_region={Region.ARIN: 3, Region.RIPE: 3, Region.APNIC: 1},
+            hypergiants_per_region={Region.ARIN: 2, Region.RIPE: 1},
+            special_stub_count=6,
+            ixps_per_1000_ases=6.0,
+        )
+        measurement = MeasurementConfig(n_vantage_points=40)
+        validation = ValidationConfig(
+            n_as_trans_entries=3,
+            n_reserved_asn_entries=8,
+            n_direct_reports=10,
+        )
+        return cls(
+            seed=seed,
+            topology=topology,
+            measurement=measurement,
+            validation=validation,
+        )
+
+    def replace(self, **kwargs) -> "ScenarioConfig":
+        """Functional update (e.g. ``cfg.replace(seed=1)``)."""
+        return dataclasses.replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        topo = self.topology
+        if topo.n_ases < 50:
+            raise ValueError("scenario needs at least 50 ASes")
+        share_sum = sum(topo.region_shares.values())
+        if abs(share_sum - 1.0) > 1e-6:
+            raise ValueError(f"region shares sum to {share_sum}, expected 1.0")
+        for region, row in topo.provider_region_matrix.items():
+            row_sum = sum(row.values())
+            if abs(row_sum - 1.0) > 1e-6:
+                raise ValueError(
+                    f"provider region row for {region} sums to {row_sum}"
+                )
+        tier_sum = (
+            topo.large_transit_share
+            + topo.mid_transit_share
+            + topo.small_transit_share
+        )
+        if tier_sum >= 1.0:
+            raise ValueError("transit tier shares must leave room for stubs")
+        if not 0 <= self.measurement.full_feed_prob <= 1:
+            raise ValueError("full_feed_prob must be a probability")
+        if self.measurement.n_vantage_points < 1:
+            raise ValueError("need at least one vantage point")

@@ -1,0 +1,17 @@
+"""Dataset formats and derived data products (system S5 of DESIGN.md).
+
+These modules read and write the textual formats of the real-world data
+sources the paper uses, so the pipeline round-trips through the same
+artefacts a study on real data would touch:
+
+* :mod:`repro.datasets.paths` — the collected AS-path corpus;
+* :mod:`repro.datasets.asrel` — CAIDA serial-1 ``as-rel`` files;
+* :mod:`repro.datasets.as2org` — CAIDA AS-to-Organization files;
+* :mod:`repro.datasets.delegation` — RIR ``delegated-extended`` files;
+* :mod:`repro.datasets.iana` — the IANA AS-number registry;
+* :mod:`repro.datasets.customercone` — customer cones and PPDC.
+"""
+
+from repro.datasets.paths import CollectedRoute, Path, PathCorpus
+
+__all__ = ["CollectedRoute", "Path", "PathCorpus"]

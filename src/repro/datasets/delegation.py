@@ -1,0 +1,136 @@
+"""RIR ``delegated-<rir>-extended`` file format (ASN records).
+
+Each RIR publishes a daily delegation file whose ASN lines look like::
+
+    arin|US|asn|394000|1|20160301|assigned|<opaque>
+
+The paper refines the IANA bootstrap mapping with these files to catch
+inter-RIR transfers.  This module writes one file per region from a
+scenario's graph/region map and parses files back into per-ASN
+assignments; :func:`region_map_from_files` rebuilds the two-layer
+:class:`~repro.topology.regions.RegionMap` exactly the way the paper's
+pipeline does (IANA blocks first, delegations override).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.topology.regions import Region, RegionMap
+
+#: A representative country per region for the synthetic records.
+_REGION_COUNTRY = {
+    Region.AFRINIC: "ZA",
+    Region.APNIC: "JP",
+    Region.ARIN: "US",
+    Region.LACNIC: "BR",
+    Region.RIPE: "DE",
+}
+
+
+@dataclass(frozen=True)
+class DelegationRecord:
+    """One ASN line of a delegation file."""
+
+    registry: Region
+    country: str
+    asn: int
+    count: int
+    date: str
+    status: str
+
+    def to_line(self) -> str:
+        return (
+            f"{self.registry.registry_name}|{self.country}|asn|{self.asn}"
+            f"|{self.count}|{self.date}|{self.status}|sim"
+        )
+
+
+def write_delegation_files(
+    assignments: Dict[int, Region],
+    directory: Union[str, Path],
+    snapshot: str = "20180405",
+) -> Dict[Region, Path]:
+    """Write one ``delegated-<rir>-extended-<date>`` file per region.
+
+    ``assignments`` maps every ASN to its (post-transfer) region, i.e.
+    what the RIRs would currently publish.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    by_region: Dict[Region, List[int]] = {r: [] for r in Region}
+    for asn, region in assignments.items():
+        by_region[region].append(asn)
+    files: Dict[Region, Path] = {}
+    for region, asns in by_region.items():
+        lines = [
+            f"2|{region.registry_name}|{snapshot}|{len(asns)}|19700101|{snapshot}|+00:00",
+        ]
+        for asn in sorted(asns):
+            record = DelegationRecord(
+                registry=region,
+                country=_REGION_COUNTRY[region],
+                asn=asn,
+                count=1,
+                date=snapshot,
+                status="assigned",
+            )
+            lines.append(record.to_line())
+        path = directory / f"delegated-{region.registry_name}-extended-{snapshot}"
+        path.write_text("\n".join(lines) + "\n", encoding="ascii")
+        files[region] = path
+    return files
+
+
+def read_delegation_file(path: Union[str, Path]) -> List[DelegationRecord]:
+    """Parse the ASN records of one delegation file.
+
+    Non-ASN records (ipv4/ipv6), the version header, and summary lines
+    are skipped, as in real parsers.
+    """
+    records: List[DelegationRecord] = []
+    for line_no, raw in enumerate(
+        Path(path).read_text(encoding="ascii").splitlines(), 1
+    ):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) >= 2 and parts[0] == "2":
+            continue  # version header
+        if len(parts) >= 6 and parts[5] == "summary":
+            continue
+        if len(parts) < 7:
+            raise ValueError(f"{path}:{line_no}: malformed delegation line: {raw!r}")
+        registry_name, country, rtype, value, count, date, status = parts[:7]
+        if rtype != "asn":
+            continue
+        records.append(
+            DelegationRecord(
+                registry=Region.from_name(registry_name),
+                country=country,
+                asn=int(value),
+                count=int(count),
+                date=date,
+                status=status,
+            )
+        )
+    return records
+
+
+def region_map_from_files(
+    iana_blocks: Iterable[Tuple[int, int, Region]],
+    delegation_paths: Iterable[Union[str, Path]],
+) -> RegionMap:
+    """Rebuild the two-layer mapping from dataset files (the paper's
+    §5 methodology: IANA bootstrap, delegation refinement)."""
+    region_map = RegionMap()
+    for low, high, region in iana_blocks:
+        region_map.add_iana_block(low, high, region)
+    for path in delegation_paths:
+        for record in read_delegation_file(path):
+            for offset in range(record.count):
+                region_map.add_delegation(record.asn + offset, record.registry)
+    return region_map

@@ -1,0 +1,78 @@
+"""The IANA "Autonomous System (AS) Numbers" registry.
+
+IANA hands out ASN *blocks* to the RIRs; the paper bootstraps its
+ASN-to-region mapping from this table before refining it with the RIR
+delegation files.  The module serialises a scenario's block table in a
+CSV layout mirroring the registry
+(https://www.iana.org/assignments/as-numbers/) and parses it back.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.topology.regions import Region, RegionMap
+
+_HEADER = "Number,Description,WHOIS,Reference,Registration Date"
+
+_REGION_DESCRIPTION = {
+    Region.AFRINIC: "Assigned by AFRINIC",
+    Region.APNIC: "Assigned by APNIC",
+    Region.ARIN: "Assigned by ARIN",
+    Region.LACNIC: "Assigned by LACNIC",
+    Region.RIPE: "Assigned by RIPE NCC",
+}
+
+_DESCRIPTION_REGION = {v: k for k, v in _REGION_DESCRIPTION.items()}
+
+
+def write_iana_registry(
+    blocks: List[Tuple[int, int, Region]], path: Union[str, Path]
+) -> None:
+    """Write the block table as a registry-style CSV."""
+    lines = [_HEADER]
+    for low, high, region in sorted(blocks):
+        number = str(low) if low == high else f"{low}-{high}"
+        description = _REGION_DESCRIPTION[region]
+        whois = f"whois.{region.registry_name}.net"
+        lines.append(f"{number},{description},{whois},,")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+def read_iana_registry(path: Union[str, Path]) -> List[Tuple[int, int, Region]]:
+    """Parse a registry CSV back into ``(low, high, region)`` blocks.
+
+    Rows whose description does not name an RIR (reserved blocks,
+    AS_TRANS, unallocated space) are skipped, exactly as a mapping
+    pipeline would.
+    """
+    blocks: List[Tuple[int, int, Region]] = []
+    for line_no, raw in enumerate(
+        Path(path).read_text(encoding="ascii").splitlines(), 1
+    ):
+        line = raw.strip()
+        if not line or line == _HEADER:
+            continue
+        parts = line.split(",")
+        if len(parts) < 2:
+            raise ValueError(f"{path}:{line_no}: malformed registry row: {raw!r}")
+        number, description = parts[0], parts[1]
+        region = _DESCRIPTION_REGION.get(description)
+        if region is None:
+            continue
+        if "-" in number:
+            low_s, high_s = number.split("-", 1)
+            low, high = int(low_s), int(high_s)
+        else:
+            low = high = int(number)
+        blocks.append((low, high, region))
+    return blocks
+
+
+def region_map_from_registry(path: Union[str, Path]) -> RegionMap:
+    """Build a (delegation-free) :class:`RegionMap` from a registry CSV."""
+    region_map = RegionMap()
+    for low, high, region in read_iana_registry(path):
+        region_map.add_iana_block(low, high, region)
+    return region_map

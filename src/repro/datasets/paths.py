@@ -1,0 +1,230 @@
+"""The collected AS-path corpus and its derived indices.
+
+A :class:`PathCorpus` is the simulator's analogue of "a month of
+RouteViews/RIS table dumps": every AS path exported by a vantage point
+to a route collector, with whatever BGP communities survived
+propagation.  All downstream consumers work from this corpus only:
+
+* the inference algorithms (visible links, triplets, transit degrees);
+* the validation compiler (decodable relationship communities);
+* the feature extractor (Appendix C metrics).
+
+Indices are built incrementally while the collector streams routes in,
+so the corpus never needs a second pass over raw paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.bgp.communities import Community
+from repro.topology.graph import LinkKey, link_key
+
+#: An AS path as collected: vantage point first, origin last.
+Path = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CollectedRoute:
+    """One route as recorded by a collector."""
+
+    vp: int
+    origin: int
+    path: Path
+    communities: Tuple[Community, ...] = ()
+
+    def links(self) -> Iterator[LinkKey]:
+        """Undirected link keys along the path."""
+        for a, b in zip(self.path, self.path[1:]):
+            yield link_key(a, b)
+
+
+class PathCorpus:
+    """All collected routes plus the indices the paper's pipeline needs."""
+
+    def __init__(self) -> None:
+        self._paths: List[Path] = []
+        self._seen_paths: Set[Path] = set()
+        self._communities: Dict[int, Tuple[Community, ...]] = {}
+        self._vp_set: Set[int] = set()
+        #: link -> set of VPs that saw it (ProbLink's "observed by k VPs").
+        self._link_vps: Dict[LinkKey, Set[int]] = {}
+        #: x -> set of neighbours seen adjacent to x while x was in the
+        #: middle of a path (the CAIDA transit-degree definition).
+        self._transit_neighbors: Dict[int, Set[int]] = {}
+        #: x -> all neighbours of x seen in any path (visible node degree).
+        self._neighbors: Dict[int, Set[int]] = {}
+        #: directed triplets (a, x, b) as observed left-to-right, i.e.
+        #: the collector-side AS first.
+        self._triplets: Set[Tuple[int, int, int]] = set()
+        #: link -> ASes observed to the left (collector side) of it.
+        self._left_of_link: Dict[LinkKey, Set[int]] = {}
+        #: link -> ASes observed to the right (origin side) of it.
+        self._right_of_link: Dict[LinkKey, Set[int]] = {}
+        #: origins observed announcing through each link.
+        self._link_origins: Dict[LinkKey, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_route(self, route: CollectedRoute) -> bool:
+        """Index one collected route.
+
+        Identical paths (same VP, origin, and hops — and therefore the
+        same communities, which are deterministic per path) are stored
+        once; re-adding returns ``False``.  This keeps multi-round
+        (churn) collection linear in the number of *distinct* routes.
+        """
+        path = route.path
+        if len(path) < 1:
+            raise ValueError("empty AS path")
+        if path[0] != route.vp or path[-1] != route.origin:
+            raise ValueError("path endpoints disagree with vp/origin")
+        if path in self._seen_paths:
+            return False
+        self._seen_paths.add(path)
+        index = len(self._paths)
+        self._paths.append(path)
+        if route.communities:
+            self._communities[index] = route.communities
+        self._vp_set.add(route.vp)
+        for position in range(len(path) - 1):
+            a, b = path[position], path[position + 1]
+            key = link_key(a, b)
+            self._link_vps.setdefault(key, set()).add(route.vp)
+            self._neighbors.setdefault(a, set()).add(b)
+            self._neighbors.setdefault(b, set()).add(a)
+            if position > 0:
+                left = path[:position]
+                self._left_of_link.setdefault(key, set()).update(left)
+            if position + 2 < len(path):
+                right = path[position + 2 :]
+                self._right_of_link.setdefault(key, set()).update(right)
+            self._link_origins.setdefault(key, set()).add(route.origin)
+        for position in range(1, len(path) - 1):
+            a, x, b = path[position - 1], path[position], path[position + 1]
+            self._triplets.add((a, x, b))
+            transit = self._transit_neighbors.setdefault(x, set())
+            transit.add(a)
+            transit.add(b)
+        return True
+
+    # ------------------------------------------------------------------
+    # raw access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def paths(self) -> Iterator[Path]:
+        return iter(self._paths)
+
+    def routes(self) -> Iterator[CollectedRoute]:
+        """Re-materialise :class:`CollectedRoute` objects."""
+        for index, path in enumerate(self._paths):
+            yield CollectedRoute(
+                vp=path[0],
+                origin=path[-1],
+                path=path,
+                communities=self._communities.get(index, ()),
+            )
+
+    @property
+    def vantage_points(self) -> FrozenSet[int]:
+        return frozenset(self._vp_set)
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def visible_links(self) -> List[LinkKey]:
+        """Every link that appears in at least one collected path —
+        the paper's "inferred links" universe."""
+        return sorted(self._link_vps.keys())
+
+    def link_visibility(self, key: LinkKey) -> int:
+        """Number of distinct VPs that observed the link."""
+        return len(self._link_vps.get(key, ()))
+
+    def vps_seeing(self, key: LinkKey) -> FrozenSet[int]:
+        return frozenset(self._link_vps.get(key, ()))
+
+    def triplets(self) -> FrozenSet[Tuple[int, int, int]]:
+        """All directed (left, middle, right) triplets."""
+        return frozenset(self._triplets)
+
+    def has_triplet(self, left: int, middle: int, right: int) -> bool:
+        return (left, middle, right) in self._triplets
+
+    def transit_degree(self, asn: int) -> int:
+        """CAIDA transit degree: unique neighbours adjacent to ``asn``
+        in paths where ``asn`` appears in transit position."""
+        return len(self._transit_neighbors.get(asn, ()))
+
+    def transit_degrees(self) -> Dict[int, int]:
+        degrees = {asn: 0 for asn in self._neighbors}
+        for asn, neighbors in self._transit_neighbors.items():
+            degrees[asn] = len(neighbors)
+        return degrees
+
+    def node_degree(self, asn: int) -> int:
+        """Visible node degree (distinct neighbours in any path)."""
+        return len(self._neighbors.get(asn, ()))
+
+    def node_degrees(self) -> Dict[int, int]:
+        return {asn: len(neigh) for asn, neigh in self._neighbors.items()}
+
+    def visible_ases(self) -> List[int]:
+        return sorted(self._neighbors.keys())
+
+    def ases_left_of(self, key: LinkKey) -> FrozenSet[int]:
+        """ASes that can observe the link (occur left of it) —
+        Appendix C feature #6."""
+        return frozenset(self._left_of_link.get(key, ()))
+
+    def ases_right_of(self, key: LinkKey) -> FrozenSet[int]:
+        """ASes that may receive traffic via the link (occur right of
+        it) — Appendix C feature #7."""
+        return frozenset(self._right_of_link.get(key, ()))
+
+    def origins_via(self, key: LinkKey) -> FrozenSet[int]:
+        """Origins whose routes were seen crossing the link —
+        Appendix C features #4/#5 build on this."""
+        return frozenset(self._link_origins.get(key, ()))
+
+    def communities_of_route(self, index: int) -> Tuple[Community, ...]:
+        return self._communities.get(index, ())
+
+    def routes_with_communities(self) -> Iterator[CollectedRoute]:
+        """Only the routes that still carry at least one community."""
+        for index in sorted(self._communities):
+            path = self._paths[index]
+            yield CollectedRoute(
+                vp=path[0],
+                origin=path[-1],
+                path=path,
+                communities=self._communities[index],
+            )
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "n_routes": len(self._paths),
+            "n_vps": len(self._vp_set),
+            "n_visible_links": len(self._link_vps),
+            "n_visible_ases": len(self._neighbors),
+            "n_triplets": len(self._triplets),
+            "n_routes_with_communities": len(self._communities),
+        }
+
+
+def filter_by_vps(corpus: PathCorpus, vps: Set[int]) -> PathCorpus:
+    """Sub-corpus containing only routes from the given vantage points.
+
+    TopoScope's bootstrapping partitions the VP set into groups and runs
+    the base inference per group; this helper materialises each group's
+    view of the world.
+    """
+    sub = PathCorpus()
+    for route in corpus.routes():
+        if route.vp in vps:
+            sub.add_route(route)
+    return sub

@@ -1,0 +1,86 @@
+"""Gao's degree-based relationship inference (ToN 2001).
+
+The original algorithm that framed the Internet as a customer-provider
+hierarchy with valley-free paths.  For every AS path it locates the
+*top provider* (the AS with the highest degree), treats every link
+before it as customer-to-provider and every link after it as
+provider-to-customer, and accumulates votes across all paths; links
+with balanced conflicting votes, or whose endpoints have comparable
+degrees at the top, become peers.
+
+Included as the historical baseline: it predates clique inference and
+transit degrees, so comparing its per-class error profile against
+ASRank/ProbLink/TopoScope in the benchmarks shows what two decades of
+refinement bought (and where it bought nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.datasets.asrel import RelationshipSet
+from repro.datasets.paths import PathCorpus
+from repro.inference.base import InferenceAlgorithm
+from repro.topology.graph import LinkKey, link_key
+
+
+class GaoInference(InferenceAlgorithm):
+    """The classic valley-free heuristic."""
+
+    name = "gao"
+
+    def __init__(self, peer_degree_ratio: float = 1.6) -> None:
+        #: Endpoint degree ratio below which a conflicted top link is
+        #: deemed a peering link (Gao's R parameter).
+        self.peer_degree_ratio = peer_degree_ratio
+
+    def infer(self, corpus: PathCorpus) -> RelationshipSet:
+        degrees = corpus.node_degrees()
+        #: (a, b) -> votes that a is the provider of b.
+        provider_votes: Dict[Tuple[int, int], int] = {}
+        top_link_votes: Dict[LinkKey, int] = {}
+        for path in corpus.paths():
+            if len(path) < 2:
+                continue
+            top_index = max(
+                range(len(path)), key=lambda i: (degrees.get(path[i], 0), -i)
+            )
+            for i in range(len(path) - 1):
+                left, right = path[i], path[i + 1]
+                if i + 1 <= top_index:
+                    # ascending: the right-hand AS provides transit.
+                    pair = (right, left)
+                else:
+                    pair = (left, right)
+                provider_votes[pair] = provider_votes.get(pair, 0) + 1
+            if 0 < top_index < len(path):
+                # The link that first touches the top AS is a peering
+                # candidate when its endpoints are of comparable size.
+                key = link_key(path[top_index - 1], path[top_index])
+                top_link_votes[key] = top_link_votes.get(key, 0) + 1
+        rels = RelationshipSet()
+        for key in corpus.visible_links():
+            a, b = key
+            votes_ab = provider_votes.get((a, b), 0)
+            votes_ba = provider_votes.get((b, a), 0)
+            deg_a, deg_b = degrees.get(a, 0), degrees.get(b, 0)
+            small, large = sorted((deg_a, deg_b))
+            comparable = large <= self.peer_degree_ratio * max(1, small)
+            often_top = top_link_votes.get(key, 0) > 0
+            if comparable and often_top and min(votes_ab, votes_ba) > 0:
+                rels.set_p2p(a, b)
+            elif votes_ab > votes_ba:
+                rels.set_p2c(provider=a, customer=b)
+            elif votes_ba > votes_ab:
+                rels.set_p2c(provider=b, customer=a)
+            elif comparable:
+                rels.set_p2p(a, b)
+            else:
+                provider = a if deg_a >= deg_b else b
+                rels.set_p2c(provider, b if provider == a else a)
+        return rels
+
+
+def infer_gao(corpus: PathCorpus) -> RelationshipSet:
+    """Convenience wrapper used by examples and benchmarks."""
+    return GaoInference().infer(corpus)

@@ -1,0 +1,177 @@
+"""ProbLink relationship inference (Jin et al., NSDI 2019).
+
+ProbLink is a *meta-classifier*: it bootstraps from an existing
+classification (ASRank here, as in the paper), assigns every link a
+probability of being P2C or P2P from a naive-Bayes model over link
+features, relabels each link with the most probable type, and iterates
+until convergence.
+
+The conditional feature distributions are re-estimated from the current
+labelling each round (self-training).  This is the property the paper's
+§6 observations hinge on: probability mass follows the majority, so
+links whose feature neighbourhoods are dominated by another class —
+e.g. the relatively few T1-TR peering links, which share features with
+the many T1-TR partial-transit customer links — get pulled towards the
+majority label, degrading exactly the small classes even while the
+overall error rate improves or holds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.asrel import RelationshipSet
+from repro.datasets.paths import PathCorpus
+from repro.inference.asrank import ASRank
+from repro.inference.base import InferenceAlgorithm
+from repro.inference.features import DiscreteFeatures, LinkFeatureExtractor
+from repro.topology.graph import LinkKey, RelType
+from repro.topology.ixp import IXPRegistry
+
+#: The two classes ProbLink distinguishes (siblings are out of scope,
+#: as in the published algorithm).
+_CLASSES = (RelType.P2C, RelType.P2P)
+
+
+class ProbLink(InferenceAlgorithm):
+    """Naive-Bayes iterative refinement on top of an initial inference."""
+
+    name = "problink"
+
+    def __init__(
+        self,
+        initial: Optional[InferenceAlgorithm] = None,
+        ixps: Optional[IXPRegistry] = None,
+        max_iterations: int = 5,
+        convergence_fraction: float = 0.001,
+        smoothing: float = 0.5,
+    ) -> None:
+        self.initial = initial if initial is not None else ASRank()
+        self.ixps = ixps
+        self.max_iterations = max_iterations
+        self.convergence_fraction = convergence_fraction
+        self.smoothing = smoothing
+        self.clique_: List[int] = []
+        self.iterations_run_: int = 0
+        #: Posterior P(P2P) per link from the final iteration — the
+        #: "measure of certainty" interface UNARI later extended.
+        self.posterior_p2p_: Dict[LinkKey, float] = {}
+
+    # ------------------------------------------------------------------
+    def infer(self, corpus: PathCorpus) -> RelationshipSet:
+        initial_rels = self.initial.infer(corpus)
+        clique = list(getattr(self.initial, "clique_", []))
+        self.clique_ = clique
+        extractor = LinkFeatureExtractor(corpus, clique, ixps=self.ixps)
+        features = extractor.discrete_all()
+        degrees = corpus.transit_degrees()
+        clique_set = set(clique)
+
+        labels: Dict[LinkKey, RelType] = {}
+        for key in corpus.visible_links():
+            rel = initial_rels.rel_of(*key)
+            labels[key] = RelType.P2P if rel is RelType.P2P else RelType.P2C
+
+        n_links = len(labels)
+        for iteration in range(self.max_iterations):
+            model = self._fit(labels, features)
+            changed = 0
+            for key, feats in features.items():
+                if key[0] in clique_set and key[1] in clique_set:
+                    continue  # the clique mesh is pinned to P2P
+                best, posterior_p2p = self._classify(model, feats)
+                self.posterior_p2p_[key] = posterior_p2p
+                if best is not labels[key]:
+                    labels[key] = best
+                    changed += 1
+            self.iterations_run_ = iteration + 1
+            if changed <= n_links * self.convergence_fraction:
+                break
+
+        return self._assemble(labels, initial_rels, degrees)
+
+    # ------------------------------------------------------------------
+    def _fit(
+        self,
+        labels: Dict[LinkKey, RelType],
+        features: Dict[LinkKey, DiscreteFeatures],
+    ) -> Dict:
+        """Estimate priors and per-feature conditionals with Laplace
+        smoothing from the current labelling."""
+        priors = {cls: self.smoothing for cls in _CLASSES}
+        n_fields = len(DiscreteFeatures.FIELD_NAMES)
+        conditionals: List[Dict[Tuple[RelType, int], float]] = [
+            {} for _ in range(n_fields)
+        ]
+        for key, cls in labels.items():
+            priors[cls] += 1
+            values = features[key].as_tuple()
+            for field_index, value in enumerate(values):
+                slot = (cls, value)
+                table = conditionals[field_index]
+                table[slot] = table.get(slot, 0.0) + 1.0
+        total = sum(priors.values())
+        log_priors = {cls: math.log(priors[cls] / total) for cls in _CLASSES}
+        class_totals = {cls: priors[cls] for cls in _CLASSES}
+        return {
+            "log_priors": log_priors,
+            "conditionals": conditionals,
+            "class_totals": class_totals,
+        }
+
+    def _classify(
+        self, model: Dict, feats: DiscreteFeatures
+    ) -> Tuple[RelType, float]:
+        """Argmax class and the posterior probability of P2P."""
+        scores = {}
+        values = feats.as_tuple()
+        for cls in _CLASSES:
+            score = model["log_priors"][cls]
+            class_total = model["class_totals"][cls]
+            for field_index, value in enumerate(values):
+                count = model["conditionals"][field_index].get(
+                    (cls, value), 0.0
+                )
+                score += math.log(
+                    (count + self.smoothing) / (class_total + self.smoothing * 16)
+                )
+            scores[cls] = score
+        max_score = max(scores.values())
+        weights = {cls: math.exp(s - max_score) for cls, s in scores.items()}
+        z = sum(weights.values())
+        posterior_p2p = weights[RelType.P2P] / z
+        best = RelType.P2P if posterior_p2p >= 0.5 else RelType.P2C
+        return best, posterior_p2p
+
+    def _assemble(
+        self,
+        labels: Dict[LinkKey, RelType],
+        initial: RelationshipSet,
+        degrees: Dict[int, int],
+    ) -> RelationshipSet:
+        """Turn class labels into a directed relationship set.
+
+        P2C direction: keep the initial algorithm's orientation when it
+        had one; links flipped from P2P take the larger transit degree
+        as provider (ProbLink's convention).
+        """
+        rels = RelationshipSet()
+        for key, cls in labels.items():
+            a, b = key
+            if cls is RelType.P2P:
+                rels.set_p2p(a, b)
+                continue
+            provider = initial.provider_of(a, b)
+            if provider is None:
+                provider = a if degrees.get(a, 0) >= degrees.get(b, 0) else b
+            customer = b if provider == a else a
+            rels.set_p2c(provider, customer)
+        return rels
+
+
+def infer_problink(
+    corpus: PathCorpus, ixps: Optional[IXPRegistry] = None
+) -> RelationshipSet:
+    """Convenience wrapper used by examples and benchmarks."""
+    return ProbLink(ixps=ixps).infer(corpus)

@@ -1,0 +1,267 @@
+"""One-call scenario builder: the whole pipeline behind one object.
+
+:func:`build_scenario` runs generation → propagation/collection →
+validation compilation → cleaning, and returns a :class:`Scenario`
+bundling every artefact with lazily-computed, cached inference results
+and classifiers.  All benchmarks and examples start here::
+
+    from repro import ScenarioConfig, build_scenario
+
+    scenario = build_scenario(ScenarioConfig.default())
+    table = scenario.validation_table("asrank")
+
+The Stub/Transit split used by the topological classifier always comes
+from the **ASRank** inference (the paper uses CAIDA's customer-cone
+dataset, which is ASRank-derived), so the link classes — and the LC
+link counts in the tables — are identical across algorithms, exactly as
+in Tables 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.bias import BiasProfile, bias_profile
+from repro.analysis.casestudy import CaseStudyResult, run_case_study
+from repro.analysis.classes import RegionalClassifier, TopologicalClassifier
+from repro.analysis.heatmap import ImbalanceHeatmaps, build_heatmaps, metric_values
+from repro.analysis.tables import ValidationTable, build_table
+from repro.bgp.collectors import VantagePoint, collect_corpus
+from repro.bgp.communities import CommunityRegistry
+from repro.config import ScenarioConfig
+from repro.datasets.asrel import RelationshipSet
+from repro.datasets.paths import PathCorpus
+from repro.inference.asrank import ASRank
+from repro.inference.base import InferenceAlgorithm
+from repro.inference.gao import GaoInference
+from repro.inference.problink import ProbLink
+from repro.inference.toposcope import TopoScope
+from repro.topology.generator import Topology, generate_topology
+from repro.topology.graph import LinkKey, RelType
+from repro.validation.cleaning import (
+    CleanedValidation,
+    MultiLabelPolicy,
+    clean_validation,
+)
+from repro.validation.compiler import CompiledValidation, compile_validation
+
+#: The algorithms of the paper plus the historical baseline.
+ALGORITHM_NAMES: Tuple[str, ...] = ("asrank", "problink", "toposcope", "gao")
+
+
+@dataclass
+class Scenario:
+    """Everything one synthetic April-2018 snapshot produces."""
+
+    config: ScenarioConfig
+    topology: Topology
+    corpus: PathCorpus
+    vantage_points: List[VantagePoint]
+    communities: CommunityRegistry
+    strippers: Set[int]
+    raw_validation: CompiledValidation
+    validation: CleanedValidation
+
+    _inferences: Dict[str, RelationshipSet] = field(default_factory=dict, repr=False)
+    _algorithms: Dict[str, InferenceAlgorithm] = field(
+        default_factory=dict, repr=False
+    )
+    _regional: Optional[RegionalClassifier] = field(default=None, repr=False)
+    _topological: Optional[TopologicalClassifier] = field(default=None, repr=False)
+    _inferred_links: Optional[List[LinkKey]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def _make_algorithm(self, name: str) -> InferenceAlgorithm:
+        if name == "asrank":
+            return ASRank()
+        if name == "problink":
+            return ProbLink(ixps=self.topology.ixps)
+        if name == "toposcope":
+            return TopoScope(ixps=self.topology.ixps)
+        if name == "gao":
+            return GaoInference()
+        raise ValueError(f"unknown algorithm {name!r}")
+
+    def algorithm(self, name: str) -> InferenceAlgorithm:
+        """The (post-run) algorithm object, e.g. for its ``clique_``."""
+        if name not in self._algorithms:
+            self.infer(name)
+        return self._algorithms[name]
+
+    def infer(self, name: str) -> RelationshipSet:
+        """Inference results, computed once per algorithm."""
+        if name not in self._inferences:
+            algorithm = self._make_algorithm(name)
+            self._inferences[name] = algorithm.infer(self.corpus)
+            self._algorithms[name] = algorithm
+        return self._inferences[name]
+
+    # ------------------------------------------------------------------
+    # link universes and classifiers
+    # ------------------------------------------------------------------
+    def inferred_links(self, exclude_siblings: bool = True) -> List[LinkKey]:
+        """The paper's "inferred links": everything visible in the
+        (ASRank) data set, minus AS2Org sibling links when requested
+        (§4.2 drops 2800 of them)."""
+        if self._inferred_links is None:
+            self._inferred_links = self.corpus.visible_links()
+        links = self._inferred_links
+        if not exclude_siblings:
+            return list(links)
+        orgs = self.topology.orgs
+        return [key for key in links if not orgs.are_siblings(*key)]
+
+    def regional_classifier(self) -> RegionalClassifier:
+        if self._regional is None:
+            self._regional = RegionalClassifier(self.topology.region_map)
+        return self._regional
+
+    def topological_classifier(self) -> TopologicalClassifier:
+        if self._topological is None:
+            self._topological = TopologicalClassifier(
+                self.topology.external_lists,
+                self.infer("asrank"),
+                universe=self.corpus.visible_ases(),
+            )
+        return self._topological
+
+    # ------------------------------------------------------------------
+    # paper experiments
+    # ------------------------------------------------------------------
+    def regional_bias(self) -> BiasProfile:
+        """Figure 1."""
+        return bias_profile(
+            self.inferred_links(),
+            self.regional_classifier().classify,
+            self.validation,
+        )
+
+    def topological_bias(self) -> BiasProfile:
+        """Figure 2."""
+        return bias_profile(
+            self.inferred_links(),
+            self.topological_classifier().classify,
+            self.validation,
+        )
+
+    def class_links(self, class_name: str) -> List[LinkKey]:
+        """All inferred links of one regional or topological class."""
+        regional = self.regional_classifier()
+        topological = self.topological_classifier()
+        out = []
+        for key in self.inferred_links():
+            if (
+                regional.classify(key) == class_name
+                or topological.classify(key) == class_name
+            ):
+                out.append(key)
+        return out
+
+    def validation_table(
+        self, algorithm: str, min_class_links: Optional[int] = None
+    ) -> ValidationTable:
+        """Tables 1-3 for one algorithm."""
+        if min_class_links is None:
+            # The paper cuts classes below 500 validated links on a
+            # ~44k-link validation set; scale proportionally.
+            min_class_links = max(10, len(self.validation) // 90)
+        return build_table(
+            algorithm=algorithm,
+            inferred=self.infer(algorithm),
+            validation=self.validation,
+            classifiers=[
+                self.regional_classifier().classify,
+                self.topological_classifier().classify,
+            ],
+            evaluation_links=self.inferred_links(),
+            min_class_links=min_class_links,
+        )
+
+    def imbalance_heatmaps(
+        self,
+        metric: str,
+        algorithm: str = "asrank",
+        caps: Optional[Tuple[float, float]] = None,
+    ) -> ImbalanceHeatmaps:
+        """Figures 3 and 7-9 for the TR° links.
+
+        ``caps`` overrides the paper's catch-all bin edges — useful for
+        rendering at simulator scale, where the synthetic Internet's
+        degrees are an order of magnitude below the real ones.
+        """
+        topological = self.topological_classifier()
+        links = [
+            key
+            for key in self.inferred_links()
+            if topological.classify(key) == "TR°"
+        ]
+        values = metric_values(metric, self.corpus, rels=self.infer(algorithm))
+        skip = None
+        if metric == "ppdc_no_vp":
+            vps = self.corpus.vantage_points
+
+            def skip(key: LinkKey) -> bool:
+                return key[0] in vps or key[1] in vps
+
+        return build_heatmaps(
+            metric=metric,
+            links=links,
+            values=values,
+            validation=self.validation,
+            caps=caps,
+            skip_links=skip,
+        )
+
+    def case_study(
+        self, algorithm: str = "asrank", class_name: str = "T1-TR"
+    ) -> CaseStudyResult:
+        """§6.1 for one algorithm and class."""
+        return run_case_study(
+            topology=self.topology,
+            corpus=self.corpus,
+            communities=self.communities,
+            inferred=self.infer(algorithm),
+            validation=self.validation,
+            class_links=self.class_links(class_name),
+            clique=self.algorithm("asrank").clique_ or [self.topology.cogent_asn],
+        )
+
+
+def build_scenario(
+    config: Optional[ScenarioConfig] = None,
+    multi_label_policy: MultiLabelPolicy = MultiLabelPolicy.IGNORE,
+) -> Scenario:
+    """Run the full pipeline for ``config`` (default: paper scale)."""
+    if config is None:
+        config = ScenarioConfig.default()
+    config.validate()
+    topology = generate_topology(config)
+    corpus, vps, communities, strippers = collect_corpus(topology, config)
+    raw = compile_validation(topology, corpus, communities, config)
+    cleaned = clean_validation(raw.data, topology.orgs, policy=multi_label_policy)
+    return Scenario(
+        config=config,
+        topology=topology,
+        corpus=corpus,
+        vantage_points=vps,
+        communities=communities,
+        strippers=strippers,
+        raw_validation=raw,
+        validation=cleaned,
+    )
+
+
+@lru_cache(maxsize=2)
+def default_scenario() -> Scenario:
+    """The cached paper-scale scenario shared by the benchmarks."""
+    return build_scenario(ScenarioConfig.default())
+
+
+@lru_cache(maxsize=2)
+def small_scenario(seed: int = 7) -> Scenario:
+    """The cached test-scale scenario shared by the test suite."""
+    return build_scenario(ScenarioConfig.small(seed=seed))

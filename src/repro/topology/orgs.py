@@ -1,0 +1,96 @@
+"""Organisation (AS2Org) model.
+
+CAIDA's AS-to-Organization dataset maps ASNs to the organisations that
+operate them; two ASes under the same organisation are *siblings* and
+must be ignored during relationship validation (§4.2 of the paper finds
+210 sibling relationships in the validation data and 2800 among the
+inferred links).
+
+The simulator represents the dataset as a plain :class:`OrgMap`; the
+textual CAIDA ``as2org`` file format is handled by
+:mod:`repro.datasets.as2org`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass
+class Organisation:
+    """One organisation operating one or more ASes."""
+
+    org_id: str
+    name: str
+    country: str
+    asns: List[int] = field(default_factory=list)
+
+    @property
+    def is_multi_as(self) -> bool:
+        return len(self.asns) > 1
+
+
+class OrgMap:
+    """Bidirectional ASN <-> organisation mapping."""
+
+    def __init__(self) -> None:
+        self._orgs: Dict[str, Organisation] = {}
+        self._by_asn: Dict[int, str] = {}
+
+    def add_org(self, org: Organisation) -> None:
+        if org.org_id in self._orgs:
+            raise ValueError(f"organisation {org.org_id} already present")
+        self._orgs[org.org_id] = org
+        for asn in org.asns:
+            if asn in self._by_asn:
+                raise ValueError(f"AS{asn} already mapped to {self._by_asn[asn]}")
+            self._by_asn[asn] = org.org_id
+
+    def assign(self, asn: int, org_id: str) -> None:
+        """Attach one more ASN to an existing organisation."""
+        if org_id not in self._orgs:
+            raise KeyError(f"unknown organisation {org_id}")
+        if asn in self._by_asn:
+            raise ValueError(f"AS{asn} already mapped to {self._by_asn[asn]}")
+        self._orgs[org_id].asns.append(asn)
+        self._by_asn[asn] = org_id
+
+    def org_of(self, asn: int) -> Optional[str]:
+        """The org_id operating ``asn``, or ``None`` if unmapped."""
+        return self._by_asn.get(asn)
+
+    def org(self, org_id: str) -> Organisation:
+        return self._orgs[org_id]
+
+    def orgs(self) -> Iterable[Organisation]:
+        return self._orgs.values()
+
+    def __len__(self) -> int:
+        return len(self._orgs)
+
+    def are_siblings(self, a: int, b: int) -> bool:
+        """True iff both ASNs are mapped and share an organisation.
+
+        Unmapped ASNs are never siblings — exactly how applying the
+        AS2Org dataset behaves on unknown ASNs.
+        """
+        org_a = self._by_asn.get(a)
+        return org_a is not None and org_a == self._by_asn.get(b)
+
+    def siblings_of(self, asn: int) -> Set[int]:
+        """All other ASNs under the same organisation."""
+        org_id = self._by_asn.get(asn)
+        if org_id is None:
+            return set()
+        return {other for other in self._orgs[org_id].asns if other != asn}
+
+    def sibling_pairs(self) -> List[Tuple[int, int]]:
+        """Every unordered sibling ASN pair (for dataset statistics)."""
+        pairs: List[Tuple[int, int]] = []
+        for org in self._orgs.values():
+            asns = sorted(org.asns)
+            for i, a in enumerate(asns):
+                for b in asns[i + 1 :]:
+                    pairs.append((a, b))
+        return pairs

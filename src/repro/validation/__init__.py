@@ -1,0 +1,44 @@
+"""Validation-data compilation and cleaning (system S6 of DESIGN.md)."""
+
+from repro.validation.cleaning import (
+    CleanedValidation,
+    CleaningReport,
+    MultiLabelPolicy,
+    clean_validation,
+    count_sibling_links,
+)
+from repro.validation.compiler import CompiledValidation, compile_validation
+from repro.validation.data import LabelSource, ValidationData, ValidationLabel
+from repro.validation.documentation import (
+    DocumentationRegistry,
+    PublishedCodebook,
+    build_documentation,
+)
+from repro.validation.extractor import extract_community_labels
+from repro.validation.rpsl import (
+    AutNumRecord,
+    extract_rpsl_labels,
+    generate_rpsl_records,
+    parse_autnum,
+)
+
+__all__ = [
+    "CleanedValidation",
+    "CleaningReport",
+    "MultiLabelPolicy",
+    "clean_validation",
+    "count_sibling_links",
+    "CompiledValidation",
+    "compile_validation",
+    "LabelSource",
+    "ValidationData",
+    "ValidationLabel",
+    "DocumentationRegistry",
+    "PublishedCodebook",
+    "build_documentation",
+    "extract_community_labels",
+    "AutNumRecord",
+    "extract_rpsl_labels",
+    "generate_rpsl_records",
+    "parse_autnum",
+]

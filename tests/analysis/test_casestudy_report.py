@@ -1,0 +1,109 @@
+"""Tests for the §6.1 case study and the text reporting layer."""
+
+import pytest
+
+from repro.analysis.casestudy import (
+    concentration_by_clique_member,
+    triplet_evidence,
+    wrong_p2p_links,
+)
+from repro.analysis.report import (
+    render_bias_figure,
+    render_class_shares,
+    render_imbalance_heatmaps,
+    render_sampling_figure,
+    render_validation_table,
+)
+from repro.analysis.sampling import sampling_experiment
+from repro.topology.graph import RelType
+
+
+class TestCaseStudyPrimitives:
+    def test_wrong_p2p_links(self, scenario):
+        links = scenario.class_links("T1-TR")
+        wrong = wrong_p2p_links(links, scenario.infer("asrank"), scenario.validation)
+        for key in wrong:
+            assert scenario.validation.rel_of(key) is RelType.P2C
+            assert scenario.infer("asrank").rel_of(*key) is RelType.P2P
+
+    def test_concentration(self):
+        counts = concentration_by_clique_member(
+            [(174, 5), (174, 6), (701, 9)], clique=[174, 701]
+        )
+        assert counts == {174: 2, 701: 1}
+
+    def test_triplet_evidence(self, scenario):
+        corpus = scenario.corpus
+        some = next(iter(corpus.triplets()))
+        left, middle, right = some
+        assert triplet_evidence(corpus, [left], middle, right)
+        assert not triplet_evidence(corpus, [middle], middle, right)
+
+
+class TestCaseStudyEndToEnd:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        return scenario.case_study("asrank")
+
+    def test_focus_member_is_clique(self, scenario, result):
+        assert result.focus_member in set(
+            scenario.algorithm("asrank").clique_
+        ) | {scenario.topology.cogent_asn}
+
+    def test_targets_belong_to_focus(self, result):
+        for target in result.targets:
+            assert result.focus_member in target.key
+            assert target.other == target.key[0] or target.other == target.key[1]
+
+    def test_no_clique_triplets_for_targets(self, result):
+        """§6.1: no C|focus|X triplet exists for any target link."""
+        assert not any(t.has_clique_triplet for t in result.targets)
+
+    def test_looking_glass_explains_targets(self, result):
+        """Targets are either confirmed partial transit (the no-export
+        community is on the received routes) or stale validation."""
+        if not result.targets:
+            pytest.skip("no focus-member targets in this scenario")
+        explained = result.n_partial_transit_confirmed + result.n_stale_validation
+        assert explained >= 0.7 * len(result.targets)
+
+    def test_share_accounting(self, result):
+        assert 0.0 <= result.focus_share <= 1.0
+        assert sum(result.per_member_counts.values()) >= result.n_wrong
+
+
+class TestReportRendering:
+    def test_bias_figure(self, scenario):
+        text = render_bias_figure(scenario.regional_bias(), "Figure 1")
+        assert "Figure 1" in text
+        assert "validation coverage" in text
+        assert "L°" in text
+
+    def test_class_shares(self, scenario):
+        text = render_class_shares(scenario.topological_bias())
+        assert "S-TR" in text and "coverage" in text
+
+    def test_validation_table(self, scenario):
+        text = render_validation_table(scenario.validation_table("asrank"))
+        assert "Total°" in text
+        assert "PPV_P" in text and "MCC" in text
+
+    def test_heatmaps(self, scenario):
+        text = render_imbalance_heatmaps(
+            scenario.imbalance_heatmaps("transit_degree")
+        )
+        assert "inference" in text and "validation" in text
+        assert "bottom-left mass" in text
+
+    def test_sampling_figure(self, scenario):
+        result = sampling_experiment(
+            scenario.class_links("TR°"),
+            scenario.infer("asrank"),
+            scenario.validation,
+            class_name="TR°",
+            sizes_percent=[50, 99],
+            repetitions=5,
+            seed=0,
+        )
+        text = render_sampling_figure(result, "mcc")
+        assert "TR°" in text and "median" in text

@@ -1,0 +1,64 @@
+"""Tests for the machine-readable results bundle."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    load_results_bundle,
+    results_bundle,
+    write_results_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle(scenario):
+    return results_bundle(scenario, algorithms=("asrank", "gao"))
+
+
+class TestResultsBundle:
+    def test_sections_present(self, bundle):
+        for key in ("scenario", "fig1_regional", "fig2_topological",
+                    "fig3_transit_degree", "tables", "sec42_cleaning",
+                    "sec61_casestudy"):
+            assert key in bundle
+
+    def test_json_serialisable(self, bundle):
+        text = json.dumps(bundle)
+        assert "fig1_regional" in text
+
+    def test_shares_sum_to_one(self, bundle):
+        total = sum(row["share"] for row in bundle["fig1_regional"])
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_tables_have_requested_algorithms(self, bundle):
+        assert set(bundle["tables"]) == {"asrank", "gao"}
+        assert bundle["tables"]["asrank"]["total"]["class"] == "Total°"
+
+    def test_heatmap_dimensions(self, bundle):
+        heatmap = bundle["fig3_transit_degree"]
+        assert len(heatmap["inference"]) == len(heatmap["validation"])
+        assert len(heatmap["x_edges"]) == len(heatmap["inference"][0])
+
+    def test_casestudy_fields(self, bundle):
+        case = bundle["sec61_casestudy"]
+        assert case["n_wrong_p2p"] >= 0
+        assert 0.0 <= case["focus_share"] <= 1.0
+
+
+class TestWriteBundle:
+    def test_round_trip(self, scenario, tmp_path):
+        directory = write_results_bundle(
+            scenario, tmp_path / "results", algorithms=("asrank",)
+        )
+        loaded = load_results_bundle(directory)
+        assert loaded["scenario"]["seed"] == scenario.config.seed
+        assert (directory / "fig1_regional.csv").exists()
+        assert (directory / "table_asrank.csv").exists()
+
+    def test_csv_headers(self, scenario, tmp_path):
+        directory = write_results_bundle(
+            scenario, tmp_path / "results", algorithms=("asrank",)
+        )
+        header = (directory / "table_asrank.csv").read_text().splitlines()[0]
+        assert header.startswith("class,ppv_p2p,tpr_p2p")

@@ -1,0 +1,132 @@
+"""Tests for the hard-link taxonomy (§3.3) and uncertainty analysis."""
+
+import pytest
+
+from repro.analysis.hardlinks import (
+    HARD_CATEGORIES,
+    HardLinkClassifier,
+    hard_link_report,
+)
+from repro.analysis.uncertainty import (
+    calibration_curve,
+    expected_calibration_error,
+    selective_accuracy,
+    uncertainty_by_class,
+)
+from repro.inference.problink import ProbLink
+from repro.topology.graph import RelType
+from repro.validation.cleaning import CleanedValidation, CleaningReport
+
+
+@pytest.fixture(scope="module")
+def report(scenario):
+    return hard_link_report(
+        scenario.corpus, scenario.algorithm("asrank").clique_
+    )
+
+
+class TestHardLinkTaxonomy:
+    def test_all_categories_present(self, report):
+        assert set(report.categories) == set(HARD_CATEGORIES)
+
+    def test_categories_subset_of_links(self, scenario, report):
+        visible = set(scenario.corpus.visible_links())
+        for links in report.categories.values():
+            assert links <= visible
+
+    def test_hard_share_sane(self, report):
+        assert 0.0 < report.hard_share() <= 1.0
+
+    def test_remote_links_touch_neither_vp_nor_clique(self, scenario, report):
+        vps = scenario.corpus.vantage_points
+        clique = set(scenario.algorithm("asrank").clique_)
+        for a, b in report.categories["remote"]:
+            assert a not in vps and b not in vps
+            assert a not in clique and b not in clique
+
+    def test_stub_no_triplet_links_are_stub_links(self, scenario, report):
+        degrees = scenario.corpus.transit_degrees()
+        for a, b in report.categories["stub_no_triplet"]:
+            assert min(degrees.get(a, 0), degrees.get(b, 0)) == 0
+
+    def test_hard_links_are_harder_to_infer(self, scenario, report):
+        """Sanity anchor: ASRank's ground-truth error rate is higher on
+        hard links than easy ones.
+
+        Partial-transit links are excluded from the comparison: they
+        are VP/clique-incident (so the Jin et al. taxonomy calls them
+        "easy") yet systematically misinferred — which is precisely the
+        gap the paper's §6.1 identifies in the existing hard-link
+        categories."""
+        rels = scenario.infer("asrank")
+        graph = scenario.topology.graph
+        stats = {True: [0, 0], False: [0, 0]}  # hard -> [errors, total]
+        for key in scenario.corpus.visible_links():
+            if not graph.has_link(*key):
+                continue
+            link = graph.link(*key)
+            if link.rel is RelType.S2S or link.partial_transit:
+                continue
+            truth = link.rel
+            predicted = rels.rel_of(*key)
+            predicted = RelType.P2P if predicted is RelType.P2P else RelType.P2C
+            slot = stats[report.is_hard(key)]
+            slot[1] += 1
+            slot[0] += predicted is not truth
+        hard_err = stats[True][0] / max(1, stats[True][1])
+        easy_err = stats[False][0] / max(1, stats[False][1])
+        assert hard_err >= easy_err
+
+    def test_validation_skew_towards_easy(self, scenario, report):
+        """Jin et al.'s claim (§3.3): validation skews to easy links."""
+        easy_cov, hard_cov = report.validation_skew(
+            scenario.validation, scenario.inferred_links()
+        )
+        assert easy_cov > hard_cov
+
+
+class TestUncertainty:
+    @pytest.fixture(scope="class")
+    def posteriors(self, scenario):
+        problink = ProbLink(ixps=scenario.topology.ixps)
+        problink.infer(scenario.corpus)
+        return problink.posterior_p2p_
+
+    def test_calibration_bins_cover_half_to_one(self, posteriors, scenario):
+        bins = calibration_curve(posteriors, scenario.validation)
+        assert len(bins) == 10
+        assert bins[0].lower == pytest.approx(0.5)
+        assert bins[-1].upper == pytest.approx(1.0)
+        assert sum(b.n_links for b in bins) > 50
+
+    def test_accuracies_are_probabilities(self, posteriors, scenario):
+        for b in calibration_curve(posteriors, scenario.validation):
+            assert 0.0 <= b.empirical_accuracy <= 1.0
+            assert 0.0 <= b.mean_confidence <= 1.0
+
+    def test_ece_bounded(self, posteriors, scenario):
+        ece = expected_calibration_error(posteriors, scenario.validation)
+        assert 0.0 <= ece <= 0.5
+
+    def test_bad_bin_count_rejected(self, posteriors, scenario):
+        with pytest.raises(ValueError):
+            calibration_curve(posteriors, scenario.validation, n_bins=0)
+
+    def test_selective_accuracy_monotone_coverage(self, posteriors, scenario):
+        curve = selective_accuracy(posteriors, scenario.validation)
+        coverages = [coverage for _, coverage, _ in curve]
+        assert coverages == sorted(coverages, reverse=True)
+        assert coverages[0] == 1.0  # threshold 0.5 keeps everything
+
+    def test_empty_validation(self, posteriors):
+        empty = CleanedValidation(rels={}, report=CleaningReport())
+        assert expected_calibration_error(posteriors, empty) == 0.0
+        assert selective_accuracy(posteriors, empty) == []
+
+    def test_uncertainty_by_class(self, posteriors, scenario):
+        margins = uncertainty_by_class(
+            posteriors, scenario.topological_classifier().classify
+        )
+        assert margins
+        for value in margins.values():
+            assert 0.0 <= value <= 0.5

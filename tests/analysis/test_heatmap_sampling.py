@@ -1,0 +1,132 @@
+"""Tests for the imbalance heatmaps (Fig 3/7-9) and sampling (Fig 4-6)."""
+
+import pytest
+
+from repro.analysis.heatmap import METRIC_CAPS, build_heatmaps, metric_values
+from repro.analysis.sampling import (
+    iqr_widening,
+    sampling_experiment,
+    trend_slope,
+)
+
+
+class TestMetricValues:
+    def test_all_metrics_computable(self, scenario):
+        rels = scenario.infer("asrank")
+        for metric in METRIC_CAPS:
+            values = metric_values(metric, scenario.corpus, rels=rels)
+            assert values, f"no values for {metric}"
+            assert all(v >= 0 for v in values.values())
+
+    def test_ppdc_requires_rels(self, scenario):
+        with pytest.raises(ValueError):
+            metric_values("ppdc", scenario.corpus)
+
+    def test_unknown_metric(self, scenario):
+        with pytest.raises(ValueError):
+            metric_values("nope", scenario.corpus)
+
+
+class TestHeatmaps:
+    def test_histogram_pair(self, scenario):
+        heatmaps = scenario.imbalance_heatmaps("transit_degree")
+        assert heatmaps.inference.total >= heatmaps.validation.total
+        assert heatmaps.validation.total > 0
+
+    def test_validation_is_subset(self, scenario):
+        heatmaps = scenario.imbalance_heatmaps("transit_degree")
+        # Every validation cell count is bounded by the inference count.
+        assert (heatmaps.validation.counts <= heatmaps.inference.counts).all()
+
+    def test_inference_mass_bottom_left(self, scenario):
+        """The paper's Figure 3 shape: inferred TR° links concentrate
+        between small transit ASes."""
+        heatmaps = scenario.imbalance_heatmaps("transit_degree")
+        corner_inf, _ = heatmaps.corner_masses(0.3, 0.3)
+        assert corner_inf > 0.4
+
+    def test_validation_less_concentrated(self, scenario):
+        # At test scale the degrees are small, so validation can at
+        # most match the inference concentration; the strict inequality
+        # (the paper's Figure 3 message) is asserted at paper scale by
+        # benchmarks/test_fig3_transit_degree.py.
+        heatmaps = scenario.imbalance_heatmaps("transit_degree")
+        corner_inf, corner_val = heatmaps.corner_masses(0.3, 0.3)
+        assert corner_val <= corner_inf
+
+    def test_mismatch_positive(self, scenario):
+        heatmaps = scenario.imbalance_heatmaps("transit_degree")
+        assert heatmaps.mismatch() > 0
+
+    def test_ppdc_no_vp_skips_vp_links(self, scenario):
+        plain = scenario.imbalance_heatmaps("ppdc")
+        no_vp = scenario.imbalance_heatmaps("ppdc_no_vp")
+        assert no_vp.inference.total < plain.inference.total
+
+    def test_unknown_caps_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            build_heatmaps(
+                "custom",
+                [],
+                {},
+                scenario.validation,
+            )
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        links = scenario.class_links("TR°")
+        return sampling_experiment(
+            links,
+            scenario.infer("asrank"),
+            scenario.validation,
+            class_name="TR°",
+            sizes_percent=range(50, 100, 10),
+            repetitions=20,
+            seed=1,
+        )
+
+    def test_point_counts(self, result):
+        assert len(result.points) == 5 * 20
+        assert result.sizes() == [50, 60, 70, 80, 90]
+
+    def test_metrics_bounded(self, result):
+        for point in result.points:
+            assert 0.0 <= point.ppv_p2p <= 1.0
+            assert 0.0 <= point.tpr_p2p <= 1.0
+            assert -1.0 <= point.mcc <= 1.0
+
+    def test_no_trend(self, result):
+        """Appendix A's conclusion: medians are flat in sample size."""
+        for metric in ("ppv_p2p", "tpr_p2p", "mcc"):
+            slope = trend_slope(result.median_series(metric))
+            assert abs(slope) < 0.003, f"{metric} trends with sample size"
+
+    def test_variance_grows_when_smaller(self, result):
+        assert iqr_widening(result, "mcc") >= 0
+
+    def test_full_size_has_no_variance(self, scenario):
+        links = scenario.class_links("TR°")
+        result = sampling_experiment(
+            links,
+            scenario.infer("asrank"),
+            scenario.validation,
+            class_name="TR°",
+            sizes_percent=[100],
+            repetitions=5,
+            seed=2,
+        )
+        values = {p.mcc for p in result.points}
+        assert len(values) == 1
+
+    def test_empty_class_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            sampling_experiment(
+                [], scenario.infer("asrank"), scenario.validation, "empty"
+            )
+
+    def test_trend_slope_degenerate(self):
+        assert trend_slope([]) == 0.0
+        assert trend_slope([(50, 1.0)]) == 0.0
+        assert trend_slope([(50, 1.0), (60, 1.0)]) == 0.0

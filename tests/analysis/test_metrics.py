@@ -1,0 +1,126 @@
+"""Tests for the classification-correctness metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.metrics import BinaryConfusion, ClassMetrics, confusion_for_links
+from repro.datasets.asrel import RelationshipSet
+from repro.topology.graph import RelType
+from repro.validation.cleaning import CleanedValidation, CleaningReport
+
+
+def _validation(entries):
+    rels = {}
+    for a, b, rel, provider in entries:
+        key = (min(a, b), max(a, b))
+        rels[key] = (rel, provider)
+    return CleanedValidation(rels=rels, report=CleaningReport())
+
+
+class TestBinaryConfusion:
+    def test_perfect(self):
+        conf = BinaryConfusion(tp=10, fp=0, tn=10, fn=0)
+        assert conf.ppv() == 1.0
+        assert conf.tpr() == 1.0
+        assert conf.mcc() == pytest.approx(1.0)
+        assert conf.f1() == 1.0
+        assert conf.fowlkes_mallows() == 1.0
+
+    def test_inverted(self):
+        conf = BinaryConfusion(tp=0, fp=10, tn=0, fn=10)
+        assert conf.mcc() == pytest.approx(-1.0)
+
+    def test_coin_toss_mcc_zero(self):
+        conf = BinaryConfusion(tp=5, fp=5, tn=5, fn=5)
+        assert conf.mcc() == pytest.approx(0.0)
+
+    def test_degenerate_margins(self):
+        assert BinaryConfusion(tp=0, fp=0, tn=10, fn=0).mcc() == 0.0
+        assert BinaryConfusion(tp=0, fp=0, tn=0, fn=0).ppv() == 0.0
+        assert BinaryConfusion(tp=0, fp=0, tn=0, fn=0).tpr() == 0.0
+
+    def test_flip_swaps_classes(self):
+        conf = BinaryConfusion(tp=3, fp=2, tn=7, fn=1)
+        flipped = conf.flipped()
+        assert flipped.tp == 7 and flipped.fn == 2
+        # MCC is symmetric under class swap.
+        assert conf.mcc() == pytest.approx(flipped.mcc())
+
+    def test_positives_is_lc(self):
+        conf = BinaryConfusion(tp=3, fp=2, tn=7, fn=1)
+        assert conf.positives == 4
+
+    def test_balanced_accuracy(self):
+        conf = BinaryConfusion(tp=8, fp=2, tn=6, fn=4)
+        expected = (8 / 12 + 6 / 8) / 2
+        assert conf.balanced_accuracy() == pytest.approx(expected)
+
+    @given(
+        st.integers(0, 200), st.integers(0, 200),
+        st.integers(0, 200), st.integers(0, 200),
+    )
+    def test_mcc_bounded(self, tp, fp, tn, fn):
+        mcc = BinaryConfusion(tp=tp, fp=fp, tn=tn, fn=fn).mcc()
+        assert -1.0 <= mcc <= 1.0
+
+    @given(
+        st.integers(0, 200), st.integers(0, 200),
+        st.integers(0, 200), st.integers(0, 200),
+    )
+    def test_fmi_is_geometric_mean(self, tp, fp, tn, fn):
+        conf = BinaryConfusion(tp=tp, fp=fp, tn=tn, fn=fn)
+        assert conf.fowlkes_mallows() == pytest.approx(
+            math.sqrt(conf.ppv() * conf.tpr())
+        )
+
+
+class TestConfusionForLinks:
+    def _setup(self):
+        inferred = RelationshipSet()
+        inferred.set_p2p(1, 2)       # true P2P -> TP (P2P positive)
+        inferred.set_p2c(3, 4)       # true P2C -> TN
+        inferred.set_p2p(5, 6)       # true P2C -> FP
+        inferred.set_p2c(7, 8)       # true P2P -> FN
+        validation = _validation([
+            (1, 2, RelType.P2P, None),
+            (3, 4, RelType.P2C, 3),
+            (5, 6, RelType.P2C, 5),
+            (7, 8, RelType.P2P, None),
+            (9, 10, RelType.P2P, None),   # not inferred: skipped
+        ])
+        links = [(1, 2), (3, 4), (5, 6), (7, 8), (9, 10), (11, 12)]
+        return links, inferred, validation
+
+    def test_matrix(self):
+        links, inferred, validation = self._setup()
+        conf = confusion_for_links(links, inferred, validation, RelType.P2P)
+        assert (conf.tp, conf.fp, conf.tn, conf.fn) == (1, 1, 1, 1)
+
+    def test_positive_class_flip(self):
+        links, inferred, validation = self._setup()
+        p2p = confusion_for_links(links, inferred, validation, RelType.P2P)
+        p2c = confusion_for_links(links, inferred, validation, RelType.P2C)
+        assert p2c.tp == p2p.tn and p2c.fn == p2p.fp
+
+    def test_invalid_positive_class(self):
+        links, inferred, validation = self._setup()
+        with pytest.raises(ValueError):
+            confusion_for_links(links, inferred, validation, RelType.S2S)
+
+
+class TestClassMetrics:
+    def test_from_links(self):
+        inferred = RelationshipSet()
+        inferred.set_p2p(1, 2)
+        inferred.set_p2c(3, 4)
+        validation = _validation([
+            (1, 2, RelType.P2P, None),
+            (3, 4, RelType.P2C, 3),
+        ])
+        metrics = ClassMetrics.from_links("X", [(1, 2), (3, 4)], inferred, validation)
+        assert metrics.ppv_p2p == 1.0
+        assert metrics.n_p2p == 1 and metrics.n_p2c == 1
+        assert metrics.n_validated == 2
+        assert metrics.mcc == pytest.approx(1.0)

@@ -1,0 +1,65 @@
+"""Tests for the looking-glass (Adj-RIB-In) simulation."""
+
+import pytest
+
+from repro.bgp.communities import Meaning
+from repro.bgp.lookingglass import LookingGlass
+
+
+@pytest.fixture
+def glass(tiny_topology, tiny_communities):
+    return LookingGlass(tiny_topology, tiny_communities)
+
+
+class TestRoutesReceived:
+    def test_customer_session_offers_cone(self, glass):
+        # 10 receives from ordinary customer 30: 30 itself + its cone.
+        routes = glass.routes_received(10, from_neighbor=30)
+        origins = {route.origin for route in routes}
+        assert origins == {30, 100, 300, 61, 70}
+
+    def test_peer_session_offers_cone(self, glass):
+        # 10 receives from its clique peer 20: 20's customer cone.
+        routes = glass.routes_received(10, from_neighbor=20)
+        origins = {route.origin for route in routes}
+        assert 40 in origins and 200 in origins
+        assert 30 not in origins  # 20 must not export peer routes
+
+    def test_provider_session_offers_everything(self, glass):
+        # 30 queries the session with its provider 10: full table,
+        # except the partial-transit island is INCLUDED (customers get
+        # those routes) and 30's own routes are excluded (loop check).
+        routes = glass.routes_received(30, from_neighbor=10)
+        origins = {route.origin for route in routes}
+        assert 35 in origins and 350 in origins
+        assert 200 in origins
+        assert 30 not in origins
+
+    def test_non_adjacent_rejected(self, glass):
+        with pytest.raises(ValueError):
+            glass.routes_received(10, from_neighbor=200)
+
+    def test_paths_start_at_neighbor(self, glass):
+        for route in glass.routes_received(10, from_neighbor=30):
+            assert route.path[0] == 30
+            assert route.path[-1] == route.origin
+
+
+class TestPartialTransitDetection:
+    def test_no_export_community_visible(self, glass, tiny_communities):
+        # The §6.1 smoking gun: routes 10 received from its
+        # partial-transit customer 35 carry 10's no-export community.
+        marker = tiny_communities.codebook(10).encode(Meaning.NO_EXPORT_TO_PEERS)
+        routes = glass.routes_received(10, from_neighbor=35)
+        assert routes
+        assert all(route.has_community(marker) for route in routes)
+
+    def test_ordinary_customer_not_tagged(self, glass, tiny_communities):
+        marker = tiny_communities.codebook(10).encode(Meaning.NO_EXPORT_TO_PEERS)
+        routes = glass.routes_received(10, from_neighbor=30)
+        assert routes
+        assert not any(route.has_community(marker) for route in routes)
+
+    def test_find_no_export_sessions(self, glass):
+        assert glass.find_no_export_sessions(10) == [35]
+        assert glass.find_no_export_sessions(20) == []

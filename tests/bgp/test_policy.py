@@ -1,0 +1,58 @@
+"""Tests for policy primitives and the adjacency index."""
+
+import pytest
+
+from repro.bgp.policy import AdjacencyIndex, RouteClass, exports_to_non_customers
+
+
+class TestExportRule:
+    def test_customer_and_self_export_everywhere(self):
+        assert exports_to_non_customers(RouteClass.SELF, restricted=False)
+        assert exports_to_non_customers(RouteClass.CUSTOMER, restricted=False)
+
+    def test_peer_and_provider_do_not(self):
+        assert not exports_to_non_customers(RouteClass.PEER, restricted=False)
+        assert not exports_to_non_customers(RouteClass.PROVIDER, restricted=False)
+
+    def test_restricted_customer_route_behaves_like_peer(self):
+        # The partial-transit mechanism of §6.1.
+        assert not exports_to_non_customers(RouteClass.CUSTOMER, restricted=True)
+
+
+class TestRouteClassOrdering:
+    def test_preference_order(self):
+        assert RouteClass.SELF < RouteClass.CUSTOMER < RouteClass.PEER
+        assert RouteClass.PEER < RouteClass.PROVIDER
+
+
+class TestAdjacencyIndex:
+    def test_tables(self, tiny_graph):
+        adjacency = AdjacencyIndex(tiny_graph)
+        assert 30 in adjacency.customers[10]
+        assert 10 in adjacency.providers[30]
+        assert 40 in adjacency.peers[30]
+        assert (10, 35) in adjacency.partial
+
+    def test_siblings_fold_into_peers(self, tiny_graph):
+        adjacency = AdjacencyIndex(tiny_graph)
+        assert 61 in adjacency.peers[60]
+        assert 60 in adjacency.peers[61]
+
+    def test_neighbor_lists_sorted(self, tiny_graph):
+        adjacency = AdjacencyIndex(tiny_graph)
+        for table in (adjacency.providers, adjacency.customers, adjacency.peers):
+            for neighbors in table.values():
+                assert neighbors == sorted(neighbors)
+
+    def test_route_class(self, tiny_graph):
+        adjacency = AdjacencyIndex(tiny_graph)
+        assert adjacency.route_class(10, 30) is RouteClass.CUSTOMER
+        assert adjacency.route_class(30, 10) is RouteClass.PROVIDER
+        assert adjacency.route_class(30, 40) is RouteClass.PEER
+        with pytest.raises(ValueError):
+            adjacency.route_class(100, 200)
+
+    def test_exclude_removes_links(self, tiny_graph):
+        adjacency = AdjacencyIndex(tiny_graph, exclude={(30, 100)})
+        assert 100 not in adjacency.customers[30]
+        assert 30 not in adjacency.providers.get(100, [30])

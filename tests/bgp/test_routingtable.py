@@ -1,0 +1,71 @@
+"""Tests for the per-AS routing table view."""
+
+import pytest
+
+from repro.bgp.policy import RouteClass
+from repro.bgp.routingtable import RoutingTable
+
+
+@pytest.fixture
+def table_30(tiny_graph):
+    return RoutingTable.compute(tiny_graph, 30)
+
+
+class TestRoutingTable:
+    def test_own_route(self, table_30):
+        entry = table_30.lookup(30)
+        assert entry is not None
+        assert entry.next_hop is None
+        assert entry.route_class is RouteClass.SELF
+        assert entry.path_length == 0
+
+    def test_customer_route(self, table_30):
+        entry = table_30.lookup(100)
+        assert entry is not None
+        assert entry.route_class is RouteClass.CUSTOMER
+        assert entry.path == (30, 100)
+
+    def test_peer_and_provider_routes(self, table_30):
+        # 200 sits under 40 (30's peer).
+        entry = table_30.lookup(200)
+        assert entry is not None
+        assert entry.route_class is RouteClass.PEER
+        assert entry.next_hop == 40
+        # 20 (the other clique member) is reached via provider 10.
+        entry = table_30.lookup(20)
+        assert entry is not None
+        assert entry.route_class is RouteClass.PROVIDER
+        assert entry.next_hop == 10
+
+    def test_partial_transit_routes_present_for_customers(self, tiny_graph):
+        # 30 is 10's customer: it receives the partial-transit island.
+        table = RoutingTable.compute(tiny_graph, 30)
+        assert 350 in table
+        # 20 (10's peer) must NOT have those routes.
+        table_20 = RoutingTable.compute(tiny_graph, 20)
+        assert 350 not in table_20
+        assert 350 in set(table_20.unreachable(tiny_graph))
+
+    def test_routes_via(self, table_30):
+        via_provider = table_30.routes_via(10)
+        assert all(e.next_hop == 10 for e in via_provider)
+        assert any(e.origin == 20 for e in via_provider)
+
+    def test_class_counts_sum(self, table_30, tiny_graph):
+        counts = table_30.class_counts()
+        assert sum(counts.values()) == len(table_30)
+        assert counts[RouteClass.SELF] == 1
+
+    def test_unknown_as_rejected(self, tiny_graph):
+        with pytest.raises(KeyError):
+            RoutingTable.compute(tiny_graph, 99999)
+
+    def test_render(self, table_30):
+        text = table_30.render(max_routes=3)
+        assert "AS30 BGP table" in text
+        assert "more)" in text
+        assert "NextHop" in text
+
+    def test_entries_sorted(self, table_30):
+        origins = [e.origin for e in table_30.entries()]
+        assert origins == sorted(origins)

@@ -1,0 +1,129 @@
+"""Shared fixtures.
+
+Two levels of test substrate:
+
+* ``tiny_topology`` — a hand-built ~14-AS graph whose routing outcomes
+  can be verified by hand; used for exact propagation/policy tests.
+* ``scenario`` — the cached small generated scenario (a few hundred
+  ASes) shared by every integration-level test; building it takes under
+  a second and the cache makes the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScenarioConfig, small_scenario
+from repro.bgp.communities import CommunityRegistry
+from repro.topology.external_lists import ExternalLists
+from repro.topology.generator import Topology
+from repro.topology.graph import ASGraph, ASNode, Link, RelType, Role
+from repro.topology.ixp import IXP, IXPRegistry
+from repro.topology.orgs import Organisation, OrgMap
+from repro.topology.regions import Region, RegionMap
+from repro.utils.rng import make_rng
+
+#: The hand-built graph's AS numbering scheme, kept readable on purpose:
+#: 10/20 clique, 30/40 mid transit, 35 partial-transit customer of 10,
+#: 50 small transit, 100/200/300 stubs, 350 customer of 35,
+#: 60/61 siblings (S2S-linked), 70 special stub peering with 10.
+TINY_CLIQUE = (10, 20)
+
+
+def build_tiny_graph() -> ASGraph:
+    """The hand-checkable topology used throughout the unit tests."""
+    graph = ASGraph()
+    region = {
+        10: Region.ARIN, 20: Region.RIPE, 30: Region.ARIN, 40: Region.RIPE,
+        35: Region.ARIN, 50: Region.LACNIC, 100: Region.ARIN,
+        200: Region.RIPE, 300: Region.LACNIC, 350: Region.ARIN,
+        60: Region.RIPE, 61: Region.RIPE, 70: Region.ARIN,
+    }
+    role = {
+        10: Role.CLIQUE, 20: Role.CLIQUE,
+        30: Role.MID_TRANSIT, 40: Role.MID_TRANSIT, 35: Role.MID_TRANSIT,
+        50: Role.SMALL_TRANSIT,
+        100: Role.STUB, 200: Role.STUB, 300: Role.STUB, 350: Role.STUB,
+        60: Role.STUB, 61: Role.STUB, 70: Role.STUB,
+    }
+    for asn in sorted(region):
+        graph.add_as(ASNode(asn=asn, region=region[asn], role=role[asn]))
+    graph.add_link(Link(provider=10, customer=20, rel=RelType.P2P))
+    graph.add_link(Link(provider=10, customer=30, rel=RelType.P2C))
+    graph.add_link(Link(provider=20, customer=40, rel=RelType.P2C))
+    graph.add_link(Link(provider=30, customer=40, rel=RelType.P2P))
+    graph.add_link(Link(provider=10, customer=35, rel=RelType.P2C, partial_transit=True))
+    graph.add_link(Link(provider=35, customer=350, rel=RelType.P2C))
+    graph.add_link(Link(provider=40, customer=50, rel=RelType.P2C))
+    graph.add_link(Link(provider=30, customer=100, rel=RelType.P2C))
+    graph.add_link(Link(provider=40, customer=200, rel=RelType.P2C))
+    graph.add_link(Link(provider=30, customer=300, rel=RelType.P2C))
+    graph.add_link(Link(provider=40, customer=300, rel=RelType.P2C))
+    graph.add_link(Link(provider=50, customer=60, rel=RelType.P2C))
+    graph.add_link(Link(provider=60, customer=61, rel=RelType.S2S))
+    graph.add_link(Link(provider=30, customer=61, rel=RelType.P2C))
+    graph.add_link(Link(provider=10, customer=70, rel=RelType.P2P))
+    graph.add_link(Link(provider=30, customer=70, rel=RelType.P2C))
+    return graph
+
+
+def build_tiny_topology() -> Topology:
+    """Wrap the tiny graph in a full Topology (orgs, regions, IXPs)."""
+    graph = build_tiny_graph()
+    orgs = OrgMap()
+    orgs.add_org(Organisation("ORG-SIBS", "Sibling Org", "DE", [60, 61]))
+    next_org = 0
+    for node in graph.nodes():
+        if node.asn in (60, 61):
+            node.org_id = "ORG-SIBS"
+            continue
+        org_id = f"ORG-T{next_org:03d}"
+        next_org += 1
+        orgs.add_org(Organisation(org_id, f"Org {node.asn}", "US", [node.asn]))
+        node.org_id = org_id
+    region_map = RegionMap()
+    region_map.add_iana_block(1, 9999, Region.ARIN)
+    for node in graph.nodes():
+        assert node.region is not None
+        region_map.add_delegation(node.asn, node.region)
+    ixps = IXPRegistry()
+    ixp = IXP(ixp_id=0, name="TINY-IX", region=Region.ARIN)
+    ixps.add_ixp(ixp)
+    for member in (30, 40, 35):
+        ixps.join(member, 0)
+    external = ExternalLists(tier1=frozenset(TINY_CLIQUE), hypergiants=frozenset())
+    topology = Topology(
+        graph=graph,
+        orgs=orgs,
+        ixps=ixps,
+        region_map=region_map,
+        external_lists=external,
+        cogent_asn=10,
+    )
+    return topology
+
+
+@pytest.fixture
+def tiny_graph() -> ASGraph:
+    return build_tiny_graph()
+
+
+@pytest.fixture
+def tiny_topology() -> Topology:
+    return build_tiny_topology()
+
+
+@pytest.fixture
+def tiny_communities(tiny_topology) -> CommunityRegistry:
+    return CommunityRegistry.build(tiny_topology.graph.asns(), make_rng(5))
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The cached small generated scenario (shared, read-only)."""
+    return small_scenario()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ScenarioConfig:
+    return ScenarioConfig.small()

@@ -1,0 +1,89 @@
+"""Tests for the CAIDA serial-1 as-rel format and RelationshipSet."""
+
+import pytest
+
+from repro.datasets.asrel import RelationshipSet, read_asrel, write_asrel
+from repro.topology.graph import RelType
+
+
+@pytest.fixture
+def rels():
+    r = RelationshipSet()
+    r.set_p2c(provider=174, customer=2098)
+    r.set_p2p(3356, 1299)
+    r.set_s2s(60, 61)
+    return r
+
+
+class TestRelationshipSet:
+    def test_lookup_is_undirected(self, rels):
+        assert rels.rel_of(174, 2098) is RelType.P2C
+        assert rels.rel_of(2098, 174) is RelType.P2C
+
+    def test_provider_direction_preserved(self, rels):
+        assert rels.provider_of(2098, 174) == 174
+        assert rels.provider_of(3356, 1299) is None
+
+    def test_missing_link(self, rels):
+        assert rels.rel_of(1, 2) is None
+        assert (1, 2) not in rels
+
+    def test_overwrite(self, rels):
+        rels.set_p2p(174, 2098)
+        assert rels.rel_of(174, 2098) is RelType.P2P
+        assert len(rels) == 3
+
+    def test_counts(self, rels):
+        counts = rels.counts()
+        assert counts[RelType.P2C] == 1
+        assert counts[RelType.P2P] == 1
+        assert counts[RelType.S2S] == 1
+
+    def test_customers_map(self, rels):
+        rels.set_p2c(provider=174, customer=5511)
+        assert sorted(rels.customers_map()[174]) == [2098, 5511]
+
+    def test_copy_is_independent(self, rels):
+        clone = rels.copy()
+        clone.set_p2p(7, 8)
+        assert (7, 8) not in rels
+
+    def test_remove(self, rels):
+        rels.remove(174, 2098)
+        assert rels.rel_of(174, 2098) is None
+
+
+class TestFileFormat:
+    def test_round_trip(self, rels, tmp_path):
+        path = tmp_path / "as-rel.txt"
+        write_asrel(rels, path, header_lines=["source: test"])
+        loaded = read_asrel(path)
+        assert len(loaded) == len(rels)
+        assert loaded.rel_of(174, 2098) is RelType.P2C
+        assert loaded.provider_of(174, 2098) == 174
+        assert loaded.rel_of(3356, 1299) is RelType.P2P
+        assert loaded.rel_of(60, 61) is RelType.S2S
+
+    def test_header_written_as_comments(self, rels, tmp_path):
+        path = tmp_path / "as-rel.txt"
+        write_asrel(rels, path, header_lines=["hello"])
+        assert path.read_text().startswith("# hello")
+
+    def test_serial1_codes(self, rels, tmp_path):
+        path = tmp_path / "as-rel.txt"
+        write_asrel(rels, path)
+        body = [l for l in path.read_text().splitlines() if not l.startswith("#")]
+        assert "174|2098|-1" in body
+        assert "1299|3356|0" in body
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("174|2098\n")
+        with pytest.raises(ValueError):
+            read_asrel(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("# comment\n\n174|2098|-1\n")
+        loaded = read_asrel(path)
+        assert len(loaded) == 1

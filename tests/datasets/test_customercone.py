@@ -1,0 +1,101 @@
+"""Tests for customer cones and PPDC."""
+
+import pytest
+
+from repro.datasets.asrel import RelationshipSet
+from repro.datasets.customercone import (
+    customer_cone_sizes,
+    ppdc_cones,
+    ppdc_sizes,
+    recursive_customer_cones,
+    stub_transit_split,
+)
+from repro.datasets.paths import CollectedRoute, PathCorpus
+
+
+@pytest.fixture
+def rels():
+    r = RelationshipSet()
+    r.set_p2c(provider=1, customer=2)
+    r.set_p2c(provider=2, customer=3)
+    r.set_p2c(provider=2, customer=4)
+    r.set_p2p(1, 5)
+    return r
+
+
+class TestRecursiveCones:
+    def test_cones(self, rels):
+        cones = recursive_customer_cones(rels)
+        assert cones[1] == {2, 3, 4}
+        assert cones[2] == {3, 4}
+        assert cones[3] == set()
+        assert cones[5] == set()
+
+    def test_sizes(self, rels):
+        sizes = customer_cone_sizes(rels)
+        assert sizes[1] == 3
+        assert sizes[4] == 0
+
+    def test_cycle_tolerated(self):
+        r = RelationshipSet()
+        r.set_p2c(provider=1, customer=2)
+        r.set_p2c(provider=2, customer=3)
+        r.set_p2c(provider=3, customer=1)  # inferred data can do this
+        cones = recursive_customer_cones(r)
+        assert cones[1] == {2, 3}
+        assert cones[2] == {1, 3}
+        assert cones[3] == {1, 2}
+
+
+class TestStubTransitSplit:
+    def test_split(self, rels):
+        split = stub_transit_split(rels)
+        assert split[1] and split[2]
+        assert not split[3] and not split[4] and not split[5]
+
+    def test_universe_extension(self, rels):
+        split = stub_transit_split(rels, universe=[1, 99])
+        assert split == {1: True, 99: False}
+
+
+class TestPPDC:
+    def _corpus(self):
+        corpus = PathCorpus()
+        # VP 5 peers with 1: path (5, 1, 2, 3): 1 entered via peer 5,
+        # so 2 and 3 are observed in 1's PPDC; 2 entered via provider 1,
+        # so 3 lands in 2's PPDC.
+        corpus.add_route(CollectedRoute(vp=5, origin=3, path=(5, 1, 2, 3)))
+        return corpus
+
+    def test_cones(self, rels):
+        cones = ppdc_cones(self._corpus(), rels)
+        assert cones[1] == {2, 3}
+        assert cones[2] == {3}
+
+    def test_sizes_default_zero(self, rels):
+        sizes = ppdc_sizes(self._corpus(), rels)
+        assert sizes[1] == 2
+        assert sizes[3] == 0
+        assert sizes[5] == 0
+
+    def test_ignore_vp_incident(self, rels):
+        # Dropping the VP-incident first link removes the observation
+        # made through the (5, 1) peering.
+        cones = ppdc_cones(self._corpus(), rels, ignore_vp_incident=True)
+        assert 1 not in cones
+        assert cones[2] == {3}
+
+    def test_requires_rel_knowledge(self, rels):
+        # A link with no inferred relationship contributes nothing.
+        corpus = PathCorpus()
+        corpus.add_route(CollectedRoute(vp=9, origin=3, path=(9, 2, 3)))
+        cones = ppdc_cones(corpus, rels)
+        assert cones == {}
+
+    def test_consistency_on_scenario(self, scenario):
+        rels = scenario.infer("asrank")
+        sizes = ppdc_sizes(scenario.corpus, rels)
+        no_vp = ppdc_sizes(scenario.corpus, rels, ignore_vp_incident=True)
+        assert set(sizes) == set(no_vp)
+        # Removing observations can only shrink cones.
+        assert all(no_vp[asn] <= sizes[asn] for asn in sizes)

@@ -1,0 +1,148 @@
+"""Tests for the as2org, delegation, and IANA registry file formats."""
+
+import pytest
+
+from repro.datasets.as2org import read_as2org, write_as2org
+from repro.datasets.delegation import (
+    read_delegation_file,
+    region_map_from_files,
+    write_delegation_files,
+)
+from repro.datasets.iana import (
+    read_iana_registry,
+    region_map_from_registry,
+    write_iana_registry,
+)
+from repro.topology.orgs import Organisation, OrgMap
+from repro.topology.regions import Region
+
+
+class TestAs2Org:
+    def _orgs(self):
+        orgs = OrgMap()
+        orgs.add_org(Organisation("ORG-1", "Big Telco", "US", [174, 701]))
+        orgs.add_org(Organisation("ORG-2", "Little ISP", "BR", [28000]))
+        return orgs
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "as2org.txt"
+        write_as2org(self._orgs(), path)
+        loaded = read_as2org(path)
+        assert loaded.are_siblings(174, 701)
+        assert not loaded.are_siblings(174, 28000)
+        assert loaded.org("ORG-2").country == "BR"
+
+    def test_pipes_in_names_sanitised(self, tmp_path):
+        orgs = OrgMap()
+        orgs.add_org(Organisation("ORG-X", "Evil|Pipe", "US", [1]))
+        path = tmp_path / "as2org.txt"
+        write_as2org(orgs, path)
+        loaded = read_as2org(path)
+        assert loaded.org("ORG-X").name == "Evil/Pipe"
+
+    def test_record_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("ORG-1|20180401|X|US|SIM\n")
+        with pytest.raises(ValueError):
+            read_as2org(path)
+
+    def test_scenario_orgs_round_trip(self, scenario, tmp_path):
+        path = tmp_path / "as2org.txt"
+        write_as2org(scenario.topology.orgs, path)
+        loaded = read_as2org(path)
+        assert len(loaded) == len(scenario.topology.orgs)
+        for a, b in scenario.topology.orgs.sibling_pairs():
+            assert loaded.are_siblings(a, b)
+
+
+class TestDelegation:
+    def test_round_trip(self, tmp_path):
+        assignments = {174: Region.ARIN, 12000: Region.RIPE, 28000: Region.LACNIC}
+        files = write_delegation_files(assignments, tmp_path)
+        assert set(files) == set(Region)
+        records = read_delegation_file(files[Region.ARIN])
+        assert len(records) == 1
+        assert records[0].asn == 174
+        assert records[0].registry is Region.ARIN
+
+    def test_region_map_from_files(self, tmp_path):
+        assignments = {1500: Region.LACNIC}
+        files = write_delegation_files(assignments, tmp_path)
+        rmap = region_map_from_files(
+            iana_blocks=[(1000, 1999, Region.ARIN)],
+            delegation_paths=files.values(),
+        )
+        # The delegation (transfer) must win over the IANA block.
+        assert rmap.lookup(1500) is Region.LACNIC
+        assert rmap.lookup(1501) is Region.ARIN
+
+    def test_non_asn_records_skipped(self, tmp_path):
+        path = tmp_path / "delegated-test"
+        path.write_text(
+            "2|arin|20180405|1|19700101|20180405|+00:00\n"
+            "arin|US|ipv4|8.8.8.0|256|20180405|assigned|x\n"
+            "arin|US|asn|394000|2|20180405|assigned|x\n"
+        )
+        records = read_delegation_file(path)
+        assert len(records) == 1
+        assert records[0].count == 2
+
+    def test_count_expands_range(self, tmp_path):
+        path = tmp_path / "delegated-test"
+        path.write_text("lacnic|BR|asn|61000|3|20180405|assigned|x\n")
+        rmap = region_map_from_files([], [path])
+        for asn in (61000, 61001, 61002):
+            assert rmap.lookup(asn) is Region.LACNIC
+        assert rmap.lookup(61003) is None
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("arin|US|asn\n")
+        with pytest.raises(ValueError):
+            read_delegation_file(path)
+
+
+class TestIanaRegistry:
+    def test_round_trip(self, tmp_path):
+        blocks = [(1000, 1999, Region.ARIN), (23000, 23455, Region.APNIC)]
+        path = tmp_path / "as-numbers.csv"
+        write_iana_registry(blocks, path)
+        assert read_iana_registry(path) == blocks
+
+    def test_single_asn_block(self, tmp_path):
+        path = tmp_path / "as-numbers.csv"
+        write_iana_registry([(174, 174, Region.ARIN)], path)
+        assert read_iana_registry(path) == [(174, 174, Region.ARIN)]
+
+    def test_unassigned_rows_skipped(self, tmp_path):
+        path = tmp_path / "as-numbers.csv"
+        path.write_text(
+            "Number,Description,WHOIS,Reference,Registration Date\n"
+            "23456,AS_TRANS,,,\n"
+            "1000-1999,Assigned by ARIN,whois.arin.net,,\n"
+        )
+        assert read_iana_registry(path) == [(1000, 1999, Region.ARIN)]
+
+    def test_region_map_from_registry(self, tmp_path):
+        path = tmp_path / "as-numbers.csv"
+        write_iana_registry([(1000, 1999, Region.RIPE)], path)
+        rmap = region_map_from_registry(path)
+        assert rmap.lookup(1200) is Region.RIPE
+
+
+class TestScenarioDatasetRoundTrip:
+    def test_region_pipeline_reconstructs_mapping(self, scenario, tmp_path):
+        """The paper's §5 methodology rebuilt purely from files."""
+        topology = scenario.topology
+        assignments = {
+            node.asn: node.region
+            for node in topology.graph.nodes()
+            if node.region is not None
+        }
+        files = write_delegation_files(assignments, tmp_path)
+        rebuilt = region_map_from_files(
+            iana_blocks=topology.region_map.iana_blocks,
+            delegation_paths=files.values(),
+        )
+        for node in topology.graph.nodes():
+            assert rebuilt.lookup(node.asn) is node.region

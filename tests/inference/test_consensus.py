@@ -1,0 +1,122 @@
+"""Tests for the consensus classifier and disagreement signal."""
+
+import pytest
+
+from repro.inference.asrank import ASRank
+from repro.inference.consensus import ConsensusClassifier, disagreement_by_class
+from repro.inference.gao import GaoInference
+from repro.inference.problink import ProbLink
+from repro.inference.toposcope import TopoScope
+from repro.topology.graph import RelType
+
+
+@pytest.fixture(scope="module")
+def consensus(scenario):
+    classifier = ConsensusClassifier([
+        ASRank(),
+        ProbLink(ixps=scenario.topology.ixps),
+        TopoScope(ixps=scenario.topology.ixps),
+    ])
+    rels = classifier.infer(scenario.corpus)
+    return classifier, rels
+
+
+class TestConsensus:
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError):
+            ConsensusClassifier([ASRank()])
+
+    def test_covers_visible_links(self, scenario, consensus):
+        _, rels = consensus
+        assert len(rels) == len(scenario.corpus.visible_links())
+
+    def test_member_results_recorded(self, consensus):
+        classifier, _ = consensus
+        assert set(classifier.member_results_) == {
+            "asrank", "problink", "toposcope"
+        }
+
+    def test_unanimous_links_follow_members(self, scenario, consensus):
+        classifier, rels = consensus
+        members = list(classifier.member_results_.values())
+        for key, share in classifier.disagreement_.items():
+            if share == 0.0:
+                first = members[0].rel_of(*key)
+                first = RelType.P2P if first is RelType.P2P else RelType.P2C
+                got = rels.rel_of(*key)
+                got = RelType.P2P if got is RelType.P2P else RelType.P2C
+                assert got is first
+
+    def test_disagreement_bounded(self, consensus):
+        classifier, _ = consensus
+        assert classifier.disagreement_
+        for share in classifier.disagreement_.values():
+            assert 0.0 <= share <= 0.5
+
+    def test_consensus_at_least_as_good_as_worst_member(self, scenario, consensus):
+        classifier, rels = consensus
+        graph = scenario.topology.graph
+
+        def accuracy(relset):
+            ok = total = 0
+            for key in scenario.corpus.visible_links():
+                if not graph.has_link(*key):
+                    continue
+                truth = graph.link(*key).rel
+                if truth is RelType.S2S:
+                    continue
+                predicted = relset.rel_of(*key)
+                if predicted is None:
+                    continue
+                predicted = (
+                    RelType.P2P if predicted is RelType.P2P else RelType.P2C
+                )
+                total += 1
+                ok += predicted is truth
+            return ok / total
+
+        member_scores = [
+            accuracy(member) for member in classifier.member_results_.values()
+        ]
+        assert accuracy(rels) >= min(member_scores)
+
+    def test_contested_links_are_hard(self, scenario, consensus):
+        """Where the panel splits, the error rate is elevated — the
+        disagreement signal is a usable hardness score."""
+        classifier, rels = consensus
+        graph = scenario.topology.graph
+        contested = set(classifier.contested_links(min_disagreement=0.3))
+        if len(contested) < 5:
+            pytest.skip("panel nearly unanimous at this scale")
+
+        def error_rate(keys):
+            errors = total = 0
+            for key in keys:
+                if not graph.has_link(*key):
+                    continue
+                truth = graph.link(*key).rel
+                if truth is RelType.S2S:
+                    continue
+                predicted = rels.rel_of(*key)
+                predicted = (
+                    RelType.P2P if predicted is RelType.P2P else RelType.P2C
+                )
+                total += 1
+                errors += predicted is not truth
+            return errors / max(1, total)
+
+        unanimous = [
+            key for key, share in classifier.disagreement_.items()
+            if share == 0.0
+        ]
+        assert error_rate(contested) > error_rate(unanimous)
+
+    def test_disagreement_by_class(self, scenario, consensus):
+        classifier, _ = consensus
+        per_class = disagreement_by_class(
+            classifier.disagreement_,
+            scenario.topological_classifier().classify,
+        )
+        assert per_class
+        for value in per_class.values():
+            assert 0.0 <= value <= 0.5

@@ -1,0 +1,173 @@
+"""Additional property-based tests: cleaning, Peerlock, temporal
+validation, and the dataset file formats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.applications.peerlock import evaluate_protection, generate_peerlock
+from repro.datasets.asrel import RelationshipSet
+from repro.evolution import TemporalValidation
+from repro.topology.asn import AS_TRANS, RESERVED_RANGES
+from repro.topology.graph import RelType, link_key
+from repro.topology.orgs import OrgMap
+from repro.topology.regions import Region
+from repro.validation.cleaning import MultiLabelPolicy, clean_validation
+from repro.validation.data import LabelSource, ValidationData, ValidationLabel
+
+asns = st.integers(min_value=1, max_value=300)
+rels_st = st.sampled_from([RelType.P2C, RelType.P2P])
+junk_asns = st.sampled_from(
+    [AS_TRANS, 64512, 64496, 65535, 4200000000]
+)
+
+
+@st.composite
+def dirty_validation(draw):
+    """Random validation data with known junk composition."""
+    data = ValidationData()
+    n_clean = draw(st.integers(min_value=0, max_value=25))
+    n_junk = draw(st.integers(min_value=0, max_value=8))
+    clean_links = set()
+    for _ in range(n_clean):
+        a, b = draw(asns), draw(asns)
+        if a == b:
+            b = a + 1
+        rel = draw(rels_st)
+        provider = min(a, b) if rel is RelType.P2C else None
+        data.add(a, b, ValidationLabel(rel=rel, provider=provider,
+                                       source=LabelSource.COMMUNITY))
+        clean_links.add(link_key(a, b))
+    junk_links = set()
+    for _ in range(n_junk):
+        a = draw(asns)
+        junk = draw(junk_asns)
+        data.add(a, junk, ValidationLabel(rel=RelType.P2P, provider=None,
+                                          source=LabelSource.RPSL))
+        junk_links.add(link_key(a, junk))
+    return data, clean_links, junk_links
+
+
+class TestCleaningProperties:
+    @given(dirty_validation())
+    def test_junk_always_removed(self, bundle):
+        data, clean_links, junk_links = bundle
+        cleaned = clean_validation(data, OrgMap())
+        for key in junk_links:
+            assert key not in cleaned
+        report = cleaned.report
+        assert report.n_as_trans_links + report.n_reserved_links == len(
+            junk_links
+        )
+
+    @given(dirty_validation())
+    def test_policies_never_invent_links(self, bundle):
+        data, clean_links, junk_links = bundle
+        for policy in MultiLabelPolicy:
+            cleaned = clean_validation(data, OrgMap(), policy)
+            assert set(cleaned.links()) <= clean_links
+
+    @given(dirty_validation())
+    def test_ignore_is_subset_of_always(self, bundle):
+        data, _, _ = bundle
+        ignore = clean_validation(data, OrgMap(), MultiLabelPolicy.IGNORE)
+        always = clean_validation(data, OrgMap(), MultiLabelPolicy.ALWAYS_P2C)
+        assert set(ignore.links()) <= set(always.links())
+
+
+@st.composite
+def small_relset(draw):
+    rels = RelationshipSet()
+    n = draw(st.integers(min_value=2, max_value=25))
+    for _ in range(n):
+        a, b = draw(asns), draw(asns)
+        if a == b:
+            continue
+        rel = draw(rels_st)
+        if rel is RelType.P2C:
+            rels.set_p2c(provider=a, customer=b)
+        else:
+            rels.set_p2p(a, b)
+    return rels
+
+
+class TestPeerlockProperties:
+    @given(small_relset(), asns)
+    def test_truth_configs_are_exact(self, rels, asn):
+        """A config generated from the same data it is scored against
+        can never miss or over-protect."""
+        config = generate_peerlock(asn, rels)
+        score = evaluate_protection(asn, config, rels)
+        assert score.exact
+
+    @given(small_relset(), asns)
+    def test_direct_sessions_never_filtered(self, rels, asn):
+        """Routes received directly from a protected peer always pass."""
+        config = generate_peerlock(asn, rels)
+        for rule in config.rules:
+            assert not rule.blocks(
+                received_from=rule.protected, path=(rule.protected, 1, 2)
+            )
+
+    @given(small_relset(), asns)
+    def test_unprotected_paths_never_filtered(self, rels, asn):
+        config = generate_peerlock(asn, rels)
+        clean_path = (90001, 90002)  # ASes outside the protected set
+        assert not config.filters_route(received_from=90001, path=clean_path)
+
+
+class TestTemporalValidationProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 11), rels_st),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_unique_samples_bounds(self, observations):
+        tv = TemporalValidation()
+        for month, rel in observations:
+            tv.add_month(month, {(1, 2): rel})
+        n_total = len(observations)
+        unique_strict = tv.unique_samples(min_gap_months=10**6)
+        unique_loose = tv.unique_samples(min_gap_months=0)
+        # Bounds: at least one, at most every observation; looser gaps
+        # never yield fewer samples.
+        assert 1 <= unique_strict <= unique_loose <= n_total
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    def test_gap_monotonicity(self, gap_a, gap_b):
+        tv = TemporalValidation()
+        for month in range(12):
+            tv.add_month(month, {(1, 2): RelType.P2P})
+        small_gap, big_gap = sorted((gap_a, gap_b))
+        assert tv.unique_samples(small_gap) >= tv.unique_samples(big_gap)
+
+
+class TestDelegationProperties:
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        st.dictionaries(
+            # routable ASNs only: RegionMap.lookup deliberately returns
+            # None for reserved ASNs and AS_TRANS, whatever the files say
+            # (hypothesis originally found this with ASN 64198).
+            st.integers(min_value=1, max_value=60000).filter(
+                lambda asn: asn != AS_TRANS
+            ),
+            st.sampled_from(list(Region)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_delegation_round_trip(self, tmp_path_factory, assignments):
+        from repro.datasets.delegation import (
+            region_map_from_files,
+            write_delegation_files,
+        )
+
+        directory = tmp_path_factory.mktemp("delegations")
+        files = write_delegation_files(assignments, directory)
+        rebuilt = region_map_from_files([], files.values())
+        for asn, region in assignments.items():
+            assert rebuilt.lookup(asn) is region

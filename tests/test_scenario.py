@@ -1,0 +1,121 @@
+"""Tests for the one-call scenario builder and config handling."""
+
+import pytest
+
+from repro import ALGORITHM_NAMES, ScenarioConfig, build_scenario
+from repro.topology.graph import RelType
+from repro.validation.cleaning import MultiLabelPolicy
+
+
+class TestConfig:
+    def test_default_valid(self):
+        ScenarioConfig.default().validate()
+
+    def test_small_valid(self):
+        ScenarioConfig.small().validate()
+
+    def test_replace(self):
+        config = ScenarioConfig.small()
+        other = config.replace(seed=99)
+        assert other.seed == 99
+        assert config.seed != 99
+
+    def test_invalid_vp_count(self):
+        config = ScenarioConfig.small()
+        config.measurement.n_vantage_points = 0
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_invalid_tier_shares(self):
+        config = ScenarioConfig.small()
+        config.topology.large_transit_share = 0.9
+        config.topology.mid_transit_share = 0.2
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_invalid_full_feed_prob(self):
+        config = ScenarioConfig.small()
+        config.measurement.full_feed_prob = 1.5
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestScenario:
+    def test_inference_cached(self, scenario):
+        assert scenario.infer("asrank") is scenario.infer("asrank")
+
+    def test_all_algorithms_runnable(self, scenario):
+        for name in ALGORITHM_NAMES:
+            rels = scenario.infer(name)
+            assert len(rels) > 0
+
+    def test_unknown_algorithm(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.infer("magic")
+
+    def test_inferred_links_exclude_siblings(self, scenario):
+        with_siblings = scenario.inferred_links(exclude_siblings=False)
+        without = scenario.inferred_links(exclude_siblings=True)
+        assert len(without) <= len(with_siblings)
+        orgs = scenario.topology.orgs
+        assert all(not orgs.are_siblings(*key) for key in without)
+
+    def test_class_links_union_of_classifiers(self, scenario):
+        links = scenario.class_links("T1-TR")
+        topological = scenario.topological_classifier()
+        assert links
+        assert all(topological.classify(key) == "T1-TR" for key in links)
+
+    def test_multi_label_policy_changes_validation(self):
+        config = ScenarioConfig.small(seed=13)
+        ignore = build_scenario(config, MultiLabelPolicy.IGNORE)
+        always = build_scenario(config, MultiLabelPolicy.ALWAYS_P2C)
+        # Same raw data, different resolution.
+        assert len(always.validation) >= len(ignore.validation)
+
+    def test_determinism_across_builds(self):
+        a = build_scenario(ScenarioConfig.small(seed=21))
+        b = build_scenario(ScenarioConfig.small(seed=21))
+        assert a.corpus.stats() == b.corpus.stats()
+        assert sorted(a.validation.links()) == sorted(b.validation.links())
+        assert sorted(a.infer("asrank").items()) == sorted(
+            b.infer("asrank").items()
+        )
+
+
+class TestPaperShapeIntegration:
+    """End-to-end assertions of the paper's qualitative findings at
+    test scale (the benchmarks re-check them at paper scale)."""
+
+    def test_lacnic_validation_hole(self, scenario):
+        """Figure 1: L° links exist in bulk but are barely validated."""
+        by_name = scenario.regional_bias().by_name()
+        assert by_name["L°"].share > 0.03
+        assert by_name["L°"].coverage < 0.05
+        assert by_name["AR°"].coverage > by_name["L°"].coverage + 0.1
+
+    def test_t1_classes_over_validated(self, scenario):
+        """Figure 2: T1-incident classes dominate validation coverage."""
+        by_name = scenario.topological_bias().by_name()
+        assert by_name["T1-TR"].coverage > by_name["S-TR"].coverage
+        assert by_name["T1-TR"].coverage > by_name["TR°"].coverage
+
+    def test_t1_tr_precision_drop(self, scenario):
+        """§6: the T1-TR class P2P precision sits below the total."""
+        table = scenario.validation_table("asrank")
+        t1_tr = table.metrics("T1-TR")
+        assert t1_tr is not None
+        assert t1_tr.ppv_p2p < table.total.ppv_p2p
+
+    def test_p2c_near_perfect_everywhere(self, scenario):
+        """§6 'common wisdom': P2C precision is high for every
+        algorithm."""
+        for name in ("asrank", "problink", "toposcope"):
+            table = scenario.validation_table(name)
+            assert table.total.ppv_p2c > 0.85
+
+    def test_cogent_dominates_case_study(self, scenario):
+        result = scenario.case_study("asrank")
+        if result.n_wrong < 5:
+            pytest.skip("too few wrong links at test scale")
+        assert result.focus_member == scenario.topology.cogent_asn

@@ -1,0 +1,64 @@
+"""Seed robustness: the paper's qualitative findings must not hinge on
+one lucky RNG stream.
+
+Three differently-seeded small scenarios are built and the headline
+shapes checked on each.  This guards the calibration against silent
+fragility — a finding that flips across seeds is a coincidence, not a
+mechanism.
+"""
+
+import pytest
+
+from repro import ScenarioConfig, build_scenario
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded(request):
+    return build_scenario(ScenarioConfig.small(seed=request.param))
+
+
+class TestShapeRobustness:
+    def test_lacnic_hole(self, seeded):
+        by_name = seeded.regional_bias().by_name()
+        if "L°" not in by_name or by_name["L°"].n_links < 10:
+            pytest.skip("too few L° links at this seed")
+        assert by_name["L°"].coverage < 0.1
+        if "AR°" in by_name and by_name["AR°"].n_links >= 10:
+            assert by_name["AR°"].coverage > by_name["L°"].coverage
+
+    def test_t1_classes_best_covered(self, seeded):
+        by_name = seeded.topological_bias().by_name()
+        t1_coverage = max(
+            by_name[name].coverage
+            for name in ("T1-TR", "S-T1")
+            if name in by_name
+        )
+        bulk_coverage = max(
+            by_name[name].coverage
+            for name in ("S-TR", "TR°")
+            if name in by_name
+        )
+        assert t1_coverage > bulk_coverage
+
+    def test_asrank_beats_gao(self, seeded):
+        asrank = seeded.validation_table("asrank").total
+        gao = seeded.validation_table("gao").total
+        assert asrank.mcc > gao.mcc
+
+    def test_p2c_stays_strong(self, seeded):
+        for name in ("asrank", "toposcope"):
+            total = seeded.validation_table(name).total
+            assert total.ppv_p2c > 0.8
+
+    def test_t1_tr_depressed(self, seeded):
+        table = seeded.validation_table("asrank")
+        t1_tr = table.metrics("T1-TR")
+        if t1_tr is None or t1_tr.n_validated < 20:
+            pytest.skip("T1-TR too small at this seed")
+        assert t1_tr.mcc < table.total.mcc + 0.02
+
+    def test_validation_minority(self, seeded):
+        visible = len(seeded.corpus.visible_links())
+        assert len(seeded.validation) < 0.6 * visible

@@ -1,0 +1,60 @@
+"""Tests for the curated Tier-1 / hypergiant lists."""
+
+from repro.topology.external_lists import ExternalLists, curate_lists
+from repro.utils.rng import make_rng
+
+
+class TestExternalLists:
+    def test_precedence_hypergiant_over_tier1(self):
+        lists = ExternalLists(tier1=frozenset({1, 2}), hypergiants=frozenset({2}))
+        assert lists.classify_hint(2) == "H"
+        assert lists.classify_hint(1) == "T1"
+        assert lists.classify_hint(3) == ""
+
+
+class TestCurateLists:
+    def test_no_noise_is_identity(self):
+        lists = curate_lists(
+            make_rng(0),
+            true_clique=[1, 2, 3],
+            true_hypergiants=[9],
+            large_transit=[5, 6],
+            tier1_miss_prob=0.0,
+            tier1_extra_prob=0.0,
+        )
+        assert lists.tier1 == frozenset({1, 2, 3})
+        assert lists.hypergiants == frozenset({9})
+
+    def test_misses_and_extras(self):
+        lists = curate_lists(
+            make_rng(1),
+            true_clique=[1, 2, 3, 4, 5],
+            true_hypergiants=[],
+            large_transit=[10, 11, 12],
+            tier1_miss_prob=1.0,
+            tier1_extra_prob=1.0,
+        )
+        # Everything missed -> fallback keeps one true member; all large
+        # transits wrongly listed.
+        assert lists.tier1 & {10, 11, 12} == {10, 11, 12}
+        assert len(lists.tier1 & {1, 2, 3, 4, 5}) == 1
+
+    def test_largely_overlaps(self):
+        # The paper notes the Wikipedia list "largely overlaps with the
+        # set of clique ASes inferred by ASRank" — the default noise
+        # must stay small.
+        clique = list(range(1, 17))
+        lists = curate_lists(
+            make_rng(2),
+            true_clique=clique,
+            true_hypergiants=[],
+            large_transit=list(range(100, 140)),
+        )
+        overlap = len(lists.tier1 & set(clique)) / len(clique)
+        assert overlap >= 0.75
+
+    def test_empty_clique(self):
+        lists = curate_lists(
+            make_rng(3), true_clique=[], true_hypergiants=[], large_transit=[]
+        )
+        assert lists.tier1 == frozenset()

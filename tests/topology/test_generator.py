@@ -1,0 +1,136 @@
+"""Tests for the synthetic topology generator (structural invariants)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ScenarioConfig
+from repro.topology.generator import generate_topology
+from repro.topology.graph import RelType, Role
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return generate_topology(ScenarioConfig.small())
+
+
+class TestStructure:
+    def test_as_count(self, topology):
+        assert len(topology.graph) == 320
+
+    def test_clique_is_full_mesh_of_p2p(self, topology):
+        clique = topology.graph.clique()
+        assert len(clique) == 7
+        for i, a in enumerate(clique):
+            for b in clique[i + 1 :]:
+                link = topology.graph.link(a, b)
+                assert link.rel is RelType.P2P
+
+    def test_clique_is_provider_free(self, topology):
+        for asn in topology.graph.clique():
+            assert topology.graph.providers_of(asn) == frozenset()
+
+    def test_cogent_is_clique_member(self, topology):
+        assert topology.cogent_asn == 174
+        assert topology.graph.node(174).role is Role.CLIQUE
+
+    def test_everyone_else_has_a_provider(self, topology):
+        for node in topology.graph.nodes():
+            if node.role is Role.CLIQUE:
+                continue
+            assert topology.graph.providers_of(node.asn), (
+                f"AS{node.asn} ({node.role}) has no provider"
+            )
+
+    def test_provider_graph_acyclic(self, topology):
+        # customer_cone_sizes raises on provider cycles via the
+        # topological order; it must succeed on generated graphs.
+        sizes = topology.graph.customer_cone_sizes()
+        assert all(size >= 0 for size in sizes.values())
+
+    def test_stubs_have_no_customers(self, topology):
+        for node in topology.graph.nodes():
+            if node.role is Role.STUB:
+                assert topology.graph.customers_of(node.asn) == frozenset()
+
+    def test_partial_transit_only_under_clique(self, topology):
+        for link in topology.graph.links():
+            if link.partial_transit:
+                assert topology.graph.node(link.provider).role is Role.CLIQUE
+                assert topology.graph.node(link.customer).role.is_transit
+
+    def test_hybrid_links_are_transit_peerings(self, topology):
+        for link in topology.graph.links():
+            if link.is_hybrid:
+                assert link.rel is RelType.P2P
+                assert link.hybrid_secondary is RelType.P2C
+
+    def test_special_stubs_peer_with_clique(self, topology):
+        clique = set(topology.graph.clique())
+        assert topology.special_stubs
+        for asn in topology.special_stubs:
+            node = topology.graph.node(asn)
+            assert node.business_type in ("research", "anycast-dns", "cdn", "cloud")
+            t1_peers = topology.graph.peers_of(asn) & clique
+            assert t1_peers, f"special stub AS{asn} has no T1 peering"
+
+
+class TestRegistries:
+    def test_every_as_has_an_org(self, topology):
+        for node in topology.graph.nodes():
+            assert node.org_id
+            assert topology.orgs.org_of(node.asn) == node.org_id
+
+    def test_sibling_links_match_orgs(self, topology):
+        for link in topology.graph.links():
+            if link.rel is RelType.S2S:
+                assert topology.orgs.are_siblings(link.provider, link.customer)
+
+    def test_region_map_covers_every_as(self, topology):
+        for node in topology.graph.nodes():
+            assert topology.region_map.lookup(node.asn) is node.region
+
+    def test_transfers_recorded_as_delegations(self, topology):
+        # At least the clique pool pins exist; transfers add more.
+        assert len(topology.region_map.delegations) >= len(
+            topology.graph.clique()
+        )
+
+    def test_external_lists_reasonable(self, topology):
+        true_clique = set(topology.graph.clique())
+        overlap = len(topology.external_lists.tier1 & true_clique)
+        assert overlap >= len(true_clique) - 2
+
+    def test_ixps_exist_with_members(self, topology):
+        assert len(topology.ixps) >= 5
+        total_members = sum(ixp.size for ixp in topology.ixps.ixps())
+        assert total_members > 50
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        a = generate_topology(ScenarioConfig.small(seed=11))
+        b = generate_topology(ScenarioConfig.small(seed=11))
+        assert a.graph.asns() == b.graph.asns()
+        assert [l.key for l in a.graph.links()] == [l.key for l in b.graph.links()]
+        assert a.external_lists.tier1 == b.external_lists.tier1
+
+    def test_different_seed_differs(self):
+        a = generate_topology(ScenarioConfig.small(seed=11))
+        b = generate_topology(ScenarioConfig.small(seed=12))
+        assert [l.key for l in a.graph.links()] != [l.key for l in b.graph.links()]
+
+
+class TestConfigValidation:
+    def test_bad_region_shares_rejected(self):
+        config = ScenarioConfig.small()
+        config.topology.region_shares = dict(config.topology.region_shares)
+        first = next(iter(config.topology.region_shares))
+        config.topology.region_shares[first] += 0.5
+        with pytest.raises(ValueError):
+            generate_topology(config)
+
+    def test_too_small_rejected(self):
+        config = ScenarioConfig.small()
+        config.topology.n_ases = 10
+        with pytest.raises(ValueError):
+            generate_topology(config)

@@ -1,0 +1,54 @@
+"""Tests for the IXP registry."""
+
+import pytest
+
+from repro.topology.ixp import IXP, IXPRegistry
+from repro.topology.regions import Region
+
+
+def _registry() -> IXPRegistry:
+    reg = IXPRegistry()
+    reg.add_ixp(IXP(ixp_id=0, name="DE-IX", region=Region.RIPE, members={1, 2, 3}))
+    reg.add_ixp(IXP(ixp_id=1, name="US-IX", region=Region.ARIN, members={2, 4}))
+    return reg
+
+
+class TestIXPRegistry:
+    def test_membership_index(self):
+        reg = _registry()
+        assert reg.memberships_of(2) == {0, 1}
+        assert reg.memberships_of(4) == {1}
+        assert reg.memberships_of(99) == set()
+
+    def test_common_ixps(self):
+        reg = _registry()
+        assert reg.common_ixps(1, 2) == {0}
+        assert reg.common_ixps(2, 4) == {1}
+        assert reg.common_ixps(1, 4) == set()
+
+    def test_colocated(self):
+        reg = _registry()
+        assert reg.colocated(1, 3)
+        assert not reg.colocated(1, 4)
+        assert not reg.colocated(99, 1)
+
+    def test_join(self):
+        reg = _registry()
+        reg.join(5, 0)
+        assert 5 in reg.ixp(0).members
+        assert reg.memberships_of(5) == {0}
+
+    def test_in_region(self):
+        reg = _registry()
+        assert [ixp.name for ixp in reg.in_region(Region.RIPE)] == ["DE-IX"]
+        assert reg.in_region(Region.LACNIC) == []
+
+    def test_duplicate_id_rejected(self):
+        reg = _registry()
+        with pytest.raises(ValueError):
+            reg.add_ixp(IXP(ixp_id=0, name="DUP", region=Region.RIPE))
+
+    def test_sizes(self):
+        reg = _registry()
+        assert len(reg) == 2
+        assert reg.ixp(0).size == 3

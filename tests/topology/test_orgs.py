@@ -1,0 +1,68 @@
+"""Tests for the organisation (AS2Org/sibling) model."""
+
+import pytest
+
+from repro.topology.orgs import Organisation, OrgMap
+
+
+def _map_with_two_orgs() -> OrgMap:
+    orgs = OrgMap()
+    orgs.add_org(Organisation("ORG-A", "Alpha", "US", [1, 2, 3]))
+    orgs.add_org(Organisation("ORG-B", "Beta", "DE", [10]))
+    return orgs
+
+
+class TestOrgMap:
+    def test_org_of(self):
+        orgs = _map_with_two_orgs()
+        assert orgs.org_of(2) == "ORG-A"
+        assert orgs.org_of(10) == "ORG-B"
+        assert orgs.org_of(999) is None
+
+    def test_are_siblings(self):
+        orgs = _map_with_two_orgs()
+        assert orgs.are_siblings(1, 3)
+        assert not orgs.are_siblings(1, 10)
+
+    def test_unmapped_never_siblings(self):
+        # Applying AS2Org to unknown ASNs must not match them together.
+        orgs = _map_with_two_orgs()
+        assert not orgs.are_siblings(999, 998)
+        assert not orgs.are_siblings(1, 999)
+
+    def test_siblings_of(self):
+        orgs = _map_with_two_orgs()
+        assert orgs.siblings_of(1) == {2, 3}
+        assert orgs.siblings_of(10) == set()
+        assert orgs.siblings_of(999) == set()
+
+    def test_sibling_pairs(self):
+        orgs = _map_with_two_orgs()
+        assert sorted(orgs.sibling_pairs()) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_assign(self):
+        orgs = _map_with_two_orgs()
+        orgs.assign(11, "ORG-B")
+        assert orgs.are_siblings(10, 11)
+
+    def test_assign_unknown_org_rejected(self):
+        orgs = _map_with_two_orgs()
+        with pytest.raises(KeyError):
+            orgs.assign(99, "ORG-MISSING")
+
+    def test_double_assignment_rejected(self):
+        orgs = _map_with_two_orgs()
+        with pytest.raises(ValueError):
+            orgs.assign(1, "ORG-B")
+        with pytest.raises(ValueError):
+            orgs.add_org(Organisation("ORG-C", "Gamma", "FR", [1]))
+
+    def test_duplicate_org_rejected(self):
+        orgs = _map_with_two_orgs()
+        with pytest.raises(ValueError):
+            orgs.add_org(Organisation("ORG-A", "Dup", "US", []))
+
+    def test_is_multi_as(self):
+        orgs = _map_with_two_orgs()
+        assert orgs.org("ORG-A").is_multi_as
+        assert not orgs.org("ORG-B").is_multi_as

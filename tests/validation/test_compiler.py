@@ -1,0 +1,99 @@
+"""Tests for the validation compiler and documentation model."""
+
+import pytest
+
+from repro.bgp.communities import Meaning
+from repro.topology.asn import AS_TRANS, is_reserved
+from repro.topology.graph import RelType, Role
+from repro.topology.regions import Region
+from repro.validation.compiler import compile_validation
+from repro.validation.documentation import build_documentation
+
+
+class TestDocumentationModel:
+    def test_deterministic(self, scenario):
+        a = build_documentation(
+            scenario.topology, scenario.communities, scenario.config
+        )
+        b = build_documentation(
+            scenario.topology, scenario.communities, scenario.config
+        )
+        assert set(a.documenting_ases()) == set(b.documenting_ases())
+
+    def test_clique_documents(self, scenario):
+        docs = scenario.raw_validation.documentation
+        clique = scenario.topology.graph.clique()
+        documenting = sum(1 for asn in clique if docs.documents(asn))
+        assert documenting >= len(clique) - 2
+
+    def test_lacnic_barely_documents(self, scenario):
+        docs = scenario.raw_validation.documentation
+        graph = scenario.topology.graph
+        lacnic = [n.asn for n in graph.nodes() if n.region is Region.LACNIC]
+        documenting = sum(1 for asn in lacnic if docs.documents(asn))
+        assert documenting / len(lacnic) < 0.02
+
+    def test_stubs_rarely_document(self, scenario):
+        docs = scenario.raw_validation.documentation
+        graph = scenario.topology.graph
+        stubs = [n.asn for n in graph.nodes() if n.role is Role.STUB]
+        documenting = sum(1 for asn in stubs if docs.documents(asn))
+        assert documenting / len(stubs) < 0.05
+
+    def test_decode_requires_publication(self, scenario):
+        docs = scenario.raw_validation.documentation
+        registry = scenario.communities
+        for asn in scenario.topology.graph.asns():
+            community = registry.codebook(asn).encode(Meaning.LEARNED_FROM_PEER)
+            decoded = docs.decode(community)
+            if docs.documents(asn) and not docs.is_stale(asn):
+                assert decoded is Meaning.LEARNED_FROM_PEER
+            elif not docs.documents(asn):
+                assert decoded is None
+
+
+class TestCompiledValidation:
+    def test_contains_spurious_dirt(self, scenario):
+        raw = scenario.raw_validation.data
+        junk_links = [
+            key
+            for key in raw.links()
+            if AS_TRANS in key or is_reserved(key[0]) or is_reserved(key[1])
+        ]
+        cfg = scenario.config.validation
+        assert len(junk_links) >= cfg.n_as_trans_entries
+
+    def test_multi_label_entries_exist(self, scenario):
+        assert scenario.raw_validation.data.multi_label_links()
+
+    def test_hybrid_links_conflict_when_validated(self, scenario):
+        raw = scenario.raw_validation.data
+        for link in scenario.topology.graph.links():
+            if link.is_hybrid and link.key in raw:
+                assert raw.is_multi_label(link.key)
+
+    def test_direct_reports_counted(self, scenario):
+        assert (
+            scenario.raw_validation.n_direct_reports
+            == scenario.config.validation.n_direct_reports
+        )
+
+    def test_deterministic(self, scenario):
+        again = compile_validation(
+            scenario.topology,
+            scenario.corpus,
+            scenario.communities,
+            scenario.config,
+            documentation=scenario.raw_validation.documentation,
+        )
+        assert len(again.data) == len(scenario.raw_validation.data)
+        assert sorted(again.data.links()) == sorted(
+            scenario.raw_validation.data.links()
+        )
+
+    def test_coverage_is_partial(self, scenario):
+        """Validation must cover a minority of the visible links —
+        that scarcity is the paper's premise."""
+        visible = set(scenario.corpus.visible_links())
+        covered = sum(1 for key in visible if key in scenario.validation)
+        assert 0.02 < covered / len(visible) < 0.6

@@ -1,0 +1,117 @@
+"""Tests for community-based label extraction."""
+
+import pytest
+
+from repro.bgp.communities import CommunityCodebook, Meaning
+from repro.datasets.paths import CollectedRoute, PathCorpus
+from repro.topology.graph import RelType
+from repro.validation.documentation import DocumentationRegistry, PublishedCodebook
+from repro.validation.extractor import extract_community_labels
+
+_VALUES = {
+    Meaning.LEARNED_FROM_CUSTOMER: 100,
+    Meaning.LEARNED_FROM_PEER: 200,
+    Meaning.LEARNED_FROM_PROVIDER: 300,
+    Meaning.BLACKHOLE: 666,
+    Meaning.NO_EXPORT_TO_PEERS: 990,
+}
+
+
+def _docs(*asns, stale=()):
+    registry = DocumentationRegistry()
+    for asn in asns:
+        values = dict(_VALUES)
+        is_stale = asn in stale
+        if is_stale:
+            values[Meaning.LEARNED_FROM_CUSTOMER] = 200
+            values[Meaning.LEARNED_FROM_PEER] = 100
+        registry.publish(PublishedCodebook(asn=asn, values=values, stale=is_stale))
+    return registry
+
+
+def _corpus(*routes):
+    corpus = PathCorpus()
+    for path, communities in routes:
+        corpus.add_route(
+            CollectedRoute(vp=path[0], origin=path[-1], path=tuple(path),
+                           communities=tuple(communities))
+        )
+    return corpus
+
+
+class TestExtraction:
+    def test_customer_tag_yields_p2c(self):
+        corpus = _corpus(((10, 30, 100), [(10, 100)]))
+        data = extract_community_labels(corpus, _docs(10))
+        label = data.first_label((10, 30))
+        assert label is not None
+        assert label.rel is RelType.P2C
+        assert label.provider == 10
+
+    def test_peer_tag_yields_p2p(self):
+        corpus = _corpus(((10, 30, 100), [(10, 200)]))
+        data = extract_community_labels(corpus, _docs(10))
+        assert data.single_rel((10, 30)) is RelType.P2P
+
+    def test_provider_tag_yields_reversed_p2c(self):
+        corpus = _corpus(((30, 10, 100), [(30, 300)]))
+        data = extract_community_labels(corpus, _docs(30))
+        label = data.first_label((10, 30))
+        assert label is not None
+        assert label.rel is RelType.P2C
+        assert label.provider == 10
+
+    def test_undocumented_owner_opaque(self):
+        corpus = _corpus(((10, 30, 100), [(10, 100)]))
+        data = extract_community_labels(corpus, _docs(99))
+        assert len(data) == 0
+
+    def test_action_communities_ignored(self):
+        corpus = _corpus(((10, 30, 100), [(10, 666), (10, 990)]))
+        data = extract_community_labels(corpus, _docs(10))
+        assert len(data) == 0
+
+    def test_owner_not_on_path_ignored(self):
+        corpus = _corpus(((10, 30, 100), [(77, 100)]))
+        data = extract_community_labels(corpus, _docs(77))
+        assert len(data) == 0
+
+    def test_origin_tag_unattributable(self):
+        # A community owned by the origin has no next hop to label.
+        corpus = _corpus(((10, 30, 100), [(100, 100)]))
+        data = extract_community_labels(corpus, _docs(100))
+        assert len(data) == 0
+
+    def test_stale_documentation_flips_label(self):
+        # The router tags with the true value (100 = customer), but the
+        # published page swapped customer/peer: the scraper reads peer.
+        corpus = _corpus(((10, 30, 100), [(10, 100)]))
+        data = extract_community_labels(corpus, _docs(10, stale=(10,)))
+        assert data.single_rel((10, 30)) is RelType.P2P
+
+    def test_multiple_taggers_one_route(self):
+        corpus = _corpus(((10, 30, 100), [(10, 200), (30, 100)]))
+        data = extract_community_labels(corpus, _docs(10, 30))
+        assert data.single_rel((10, 30)) is RelType.P2P
+        assert data.single_rel((30, 100)) is RelType.P2C
+
+
+class TestScenarioExtraction:
+    def test_labels_mostly_match_ground_truth(self, scenario):
+        """Community labels are near-ground-truth (the dirt is small)."""
+        data = extract_community_labels(
+            scenario.corpus, scenario.raw_validation.documentation
+        )
+        graph = scenario.topology.graph
+        checked = ok = 0
+        for key in data.links():
+            rel = data.single_rel(key)
+            if rel is None or not graph.has_link(*key):
+                continue
+            truth = graph.link(*key).rel
+            if truth is RelType.S2S:
+                continue
+            checked += 1
+            ok += truth is rel
+        assert checked > 50
+        assert ok / checked > 0.93

@@ -1,0 +1,84 @@
+"""Tests for the RPSL/WHOIS aut-num model."""
+
+import pytest
+
+from repro.topology.graph import RelType
+from repro.validation.rpsl import (
+    AutNumRecord,
+    extract_rpsl_labels,
+    generate_rpsl_records,
+    parse_autnum,
+)
+
+
+class TestRecordRendering:
+    def test_provider_lines(self):
+        record = AutNumRecord(asn=64500, policy={64496: "provider"})
+        text = record.to_rpsl()
+        assert "aut-num: AS64500" in text
+        assert "import: from AS64496 accept ANY" in text
+
+    def test_round_trip(self):
+        record = AutNumRecord(
+            asn=64500,
+            policy={1: "provider", 2: "customer", 3: "peer"},
+        )
+        parsed = parse_autnum(record.to_rpsl())
+        assert parsed.asn == 64500
+        assert parsed.policy == record.policy
+
+    def test_parse_requires_autnum_attribute(self):
+        with pytest.raises(ValueError):
+            parse_autnum("import: from AS1 accept ANY")
+
+
+class TestLabelExtraction:
+    def test_provider_claim(self):
+        record = AutNumRecord(asn=64500, policy={1: "provider"})
+        data = extract_rpsl_labels([record])
+        label = data.first_label((1, 64500))
+        assert label is not None
+        assert label.rel is RelType.P2C and label.provider == 1
+
+    def test_customer_claim(self):
+        record = AutNumRecord(asn=64500, policy={2: "customer"})
+        data = extract_rpsl_labels([record])
+        label = data.first_label((2, 64500))
+        assert label is not None
+        assert label.rel is RelType.P2C and label.provider == 64500
+
+    def test_peer_claim(self):
+        record = AutNumRecord(asn=64500, policy={3: "peer"})
+        data = extract_rpsl_labels([record])
+        assert data.single_rel((3, 64500)) is RelType.P2P
+
+    def test_conflicting_records_yield_multi_label(self):
+        a = AutNumRecord(asn=1, policy={2: "customer"})
+        b = AutNumRecord(asn=2, policy={1: "peer"})  # stale view
+        data = extract_rpsl_labels([a, b])
+        assert data.is_multi_label((1, 2))
+
+
+class TestGeneration:
+    def test_records_deterministic(self, scenario):
+        a = generate_rpsl_records(scenario.topology, scenario.config)
+        b = generate_rpsl_records(scenario.topology, scenario.config)
+        assert [(r.asn, sorted(r.policy.items())) for r in a] == [
+            (r.asn, sorted(r.policy.items())) for r in b
+        ]
+
+    def test_records_cover_real_neighbors(self, scenario):
+        for record in generate_rpsl_records(scenario.topology, scenario.config):
+            neighbors = scenario.topology.graph.neighbors_of(record.asn)
+            assert set(record.policy) <= set(neighbors)
+
+    def test_region_skew(self, scenario):
+        """The IRR culture skew: LACNIC ASes essentially never publish."""
+        from repro.topology.regions import Region
+
+        records = generate_rpsl_records(scenario.topology, scenario.config)
+        regions = [
+            scenario.topology.graph.node(record.asn).region for record in records
+        ]
+        assert regions, "no RPSL records generated at all"
+        assert regions.count(Region.LACNIC) <= 1

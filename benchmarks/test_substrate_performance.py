@@ -5,13 +5,23 @@ regressions in the engine are caught alongside the science:
 
 * per-origin route computation (the inner loop of collection),
 * corpus indexing throughput,
-* full ASRank inference over the paper-scale corpus.
+* full ASRank inference over the paper-scale corpus,
+* parallel propagation speedup over serial (multi-core hosts only),
+* warm-cache scenario builds that skip propagation entirely.
 """
 
+import os
+import time
+
+import pytest
+
+from repro import ScenarioConfig, build_scenario
+from repro.bgp.collectors import collect_corpus
 from repro.bgp.policy import AdjacencyIndex
 from repro.bgp.propagation import compute_route_tree
 from repro.datasets.paths import CollectedRoute, PathCorpus
 from repro.inference.asrank import ASRank
+from repro.pipeline.cache import ArtifactCache
 
 
 def test_perf_route_tree(paper, benchmark):
@@ -43,3 +53,70 @@ def test_perf_asrank_inference(paper, benchmark):
         lambda: ASRank().infer(paper.corpus), rounds=3, iterations=1
     )
     assert len(rels) == len(paper.corpus.visible_links())
+
+
+def _parallel_bench_config() -> ScenarioConfig:
+    """A ≥500-AS scenario large enough for the pool to amortise."""
+    config = ScenarioConfig.default()
+    config.topology.n_ases = 600
+    config.measurement.n_vantage_points = 60
+    config.measurement.n_churn_rounds = 0
+    return config
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup needs >= 4 physical workers; on fewer "
+    "cores pool overhead dominates (equivalence is still enforced by "
+    "tests/pipeline/test_parallel_equivalence.py)",
+)
+def test_perf_parallel_collection_speedup(benchmark):
+    """Four-worker collection must be >= 2x faster than serial."""
+    from repro.topology.generator import generate_topology
+
+    config = _parallel_bench_config()
+    topology = generate_topology(config)
+
+    start = time.perf_counter()
+    serial_corpus, _, _, _ = collect_corpus(topology, config)
+    serial_seconds = time.perf_counter() - start
+
+    parallel_corpus = benchmark.pedantic(
+        lambda: collect_corpus(topology, config, workers=4)[0],
+        rounds=3,
+        iterations=1,
+    )
+    parallel_seconds = benchmark.stats.stats.min
+    assert len(parallel_corpus) == len(serial_corpus)
+    speedup = serial_seconds / parallel_seconds
+    print(f"\n[parallel] serial {serial_seconds:.2f}s, "
+          f"4 workers {parallel_seconds:.2f}s, speedup {speedup:.2f}x")
+    assert speedup >= 2.0
+
+
+def test_perf_warm_cache_build(benchmark, tmp_path, monkeypatch):
+    """A warm-cache build skips propagation and is much faster."""
+    import repro.scenario as scenario_module
+
+    config = _parallel_bench_config()
+    cache = ArtifactCache(root=tmp_path / "cache")
+
+    start = time.perf_counter()
+    build_scenario(config, cache=cache)
+    cold_seconds = time.perf_counter() - start
+
+    # Any attempt to re-propagate on the warm path is a hard failure,
+    # not just a slow run.
+    def boom(*args, **kwargs):
+        raise AssertionError("propagation ran on a warm cache")
+
+    monkeypatch.setattr(scenario_module, "collect_rounds", boom)
+    warm = benchmark.pedantic(
+        lambda: build_scenario(config, cache=cache), rounds=3, iterations=1
+    )
+    warm_seconds = benchmark.stats.stats.min
+    assert warm.cache is cache and cache.hits >= 2
+    print(f"\n[cache] cold {cold_seconds:.2f}s, "
+          f"warm {warm_seconds:.2f}s "
+          f"({cold_seconds / warm_seconds:.1f}x faster)")
+    assert warm_seconds < cold_seconds

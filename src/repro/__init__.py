@@ -34,6 +34,12 @@ from repro.scenario import (
     small_scenario,
 )
 
+# Imported after repro.scenario: the pipeline package reaches into the
+# dataset serialisers, whose package init must not be triggered before
+# repro.datasets.paths has finished loading (repro.bgp's package init
+# imports it back).
+from repro.pipeline import ArtifactCache, ParallelPropagator
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -42,6 +48,8 @@ __all__ = [
     "TopologyConfig",
     "ValidationConfig",
     "ALGORITHM_NAMES",
+    "ArtifactCache",
+    "ParallelPropagator",
     "Scenario",
     "build_scenario",
     "default_scenario",

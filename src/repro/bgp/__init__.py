@@ -13,7 +13,11 @@ from repro.bgp.collectors import (
     VantagePoint,
     assign_community_strippers,
     collect_corpus,
+    collect_rounds,
+    measurement_setup,
+    routes_for_origin,
     select_vantage_points,
+    surviving_communities,
 )
 from repro.bgp.lookingglass import LookingGlass, ReceivedRoute
 from repro.bgp.policy import AdjacencyIndex, RouteClass, exports_to_non_customers
@@ -30,7 +34,11 @@ __all__ = [
     "VantagePoint",
     "assign_community_strippers",
     "collect_corpus",
+    "collect_rounds",
+    "measurement_setup",
+    "routes_for_origin",
     "select_vantage_points",
+    "surviving_communities",
     "LookingGlass",
     "ReceivedRoute",
     "AdjacencyIndex",

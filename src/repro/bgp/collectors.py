@@ -102,6 +102,73 @@ def assign_community_strippers(
     }
 
 
+def surviving_communities(
+    path: Tuple[int, ...],
+    tree,
+    communities: CommunityRegistry,
+    strippers: Set[int],
+) -> Tuple[Community, ...]:
+    """Informational tags still on the route when it reaches the
+    collector.
+
+    Walking from the collector side: the tag applied by ``path[i]``
+    survives iff none of ``path[0..i-1]`` strips foreign communities.
+    The VP's own tag (i = 0) always survives.
+    """
+    surviving: List[Community] = []
+    upstream_keeps = True
+    for i in range(len(path) - 1):
+        tagger = path[i]
+        if i > 0:
+            upstream_keeps = upstream_keeps and path[i - 1] not in strippers
+            if not upstream_keeps:
+                break
+        tagger_class = tree.pref[tagger]
+        meaning = _CLASS_TO_MEANING.get(tagger_class)
+        if meaning is None:
+            continue
+        codebook = communities.codebook(tagger)
+        surviving.append(codebook.encode(meaning))
+    return tuple(surviving)
+
+
+def routes_for_origin(
+    tree,
+    vantage_points: Iterable[VantagePoint],
+    communities: CommunityRegistry,
+    strippers: Set[int],
+) -> List[CollectedRoute]:
+    """Reduce one origin's route tree to the routes collectors record.
+
+    The single source of truth for the feed-type filter and community
+    survival — the serial collector and the parallel workers both call
+    this, so the two paths cannot drift apart.  Vantage points are
+    visited in list order, which fixes the route order within an origin.
+    """
+    routes: List[CollectedRoute] = []
+    for vp in vantage_points:
+        if not tree.has_route(vp.asn):
+            continue
+        if not vp.full_feed and tree.pref[vp.asn] not in (
+            RouteClass.SELF,
+            RouteClass.CUSTOMER,
+        ):
+            continue
+        path = tree.path_from(vp.asn)
+        assert path is not None
+        routes.append(
+            CollectedRoute(
+                vp=vp.asn,
+                origin=tree.origin,
+                path=path,
+                communities=surviving_communities(
+                    path, tree, communities, strippers
+                ),
+            )
+        )
+    return routes
+
+
 class RouteCollector:
     """Streams the routes of every (vantage point, origin) pair into a
     :class:`PathCorpus`."""
@@ -112,18 +179,21 @@ class RouteCollector:
         vantage_points: Iterable[VantagePoint],
         communities: CommunityRegistry,
         strippers: Set[int],
+        workers: int = 0,
     ) -> None:
         self.topology = topology
         self.vantage_points = list(vantage_points)
         self.communities = communities
         self.strippers = strippers
         self.adjacency = AdjacencyIndex(topology.graph)
+        self.workers = workers
 
     def collect(
         self,
         origins: Optional[Iterable[int]] = None,
         corpus: Optional[PathCorpus] = None,
         adjacency: Optional[AdjacencyIndex] = None,
+        workers: Optional[int] = None,
     ) -> PathCorpus:
         """Propagate every origin and record what the collector hears.
 
@@ -133,6 +203,12 @@ class RouteCollector:
         into it (duplicate paths are dropped by the corpus); passing an
         ``adjacency`` overrides the topology view, which is how churn
         rounds inject link failures.
+
+        With ``workers`` (falling back to the collector-level setting),
+        the per-origin work — route tree *and* its reduction to VP
+        paths — runs in worker processes; only the small route records
+        cross the process boundary, and they arrive in the exact order
+        the serial loop would produce them, so the corpus is identical.
         """
         if corpus is None:
             corpus = PathCorpus()
@@ -140,66 +216,37 @@ class RouteCollector:
             adjacency = self.adjacency
         if origins is None:
             origins = adjacency.asns
-        vps = self.vantage_points
+        if workers is None:
+            workers = self.workers
+        if workers:
+            from repro.pipeline.parallel import ParallelPropagator
+
+            propagator = ParallelPropagator(adjacency, workers=workers)
+            for route in propagator.collect_routes(
+                self.vantage_points, self.communities, self.strippers, origins
+            ):
+                corpus.add_route(route)
+            return corpus
         for origin in origins:
             tree = compute_route_tree(adjacency, origin)
-            for vp in vps:
-                if not tree.has_route(vp.asn):
-                    continue
-                if not vp.full_feed and tree.pref[vp.asn] not in (
-                    RouteClass.SELF,
-                    RouteClass.CUSTOMER,
-                ):
-                    continue
-                path = tree.path_from(vp.asn)
-                assert path is not None
-                communities = self._surviving_communities(path, tree)
-                corpus.add_route(
-                    CollectedRoute(
-                        vp=vp.asn,
-                        origin=origin,
-                        path=path,
-                        communities=communities,
-                    )
-                )
+            for route in routes_for_origin(
+                tree, self.vantage_points, self.communities, self.strippers
+            ):
+                corpus.add_route(route)
         return corpus
 
-    def _surviving_communities(
-        self, path: Tuple[int, ...], tree
-    ) -> Tuple[Community, ...]:
-        """Informational tags still on the route when it reaches the
-        collector.
 
-        Walking from the collector side: the tag applied by ``path[i]``
-        survives iff none of ``path[0..i-1]`` strips foreign
-        communities.  The VP's own tag (i = 0) always survives.
-        """
-        surviving: List[Community] = []
-        upstream_keeps = True
-        for i in range(len(path) - 1):
-            tagger = path[i]
-            if i > 0:
-                upstream_keeps = upstream_keeps and path[i - 1] not in self.strippers
-                if not upstream_keeps:
-                    break
-            tagger_class = tree.pref[tagger]
-            meaning = _CLASS_TO_MEANING.get(tagger_class)
-            if meaning is None:
-                continue
-            codebook = self.communities.codebook(tagger)
-            surviving.append(codebook.encode(meaning))
-        return tuple(surviving)
-
-
-def collect_corpus(
+def measurement_setup(
     topology: Topology,
     config: "ScenarioConfig",
     communities: Optional[CommunityRegistry] = None,
-) -> Tuple[PathCorpus, List[VantagePoint], CommunityRegistry, Set[int]]:
-    """One-call measurement layer: choose VPs, build codebooks, collect.
+) -> Tuple[List[VantagePoint], CommunityRegistry, Set[int]]:
+    """The cheap, deterministic measurement artefacts of a scenario.
 
-    Returns the corpus plus the measurement artefacts downstream layers
-    need (the VP list, the community registry, and the stripper set).
+    Vantage points, community codebooks and the stripper set all come
+    from labelled child RNG streams of the seed, so they can be rebuilt
+    identically whether or not the (expensive) corpus is served from the
+    artifact cache.
     """
     if communities is None:
         communities = CommunityRegistry.build(
@@ -211,12 +258,28 @@ def collect_corpus(
         )
     vps = select_vantage_points(topology, config)
     strippers = assign_community_strippers(topology, config)
-    collector = RouteCollector(topology, vps, communities, strippers)
+    return vps, communities, strippers
+
+
+def collect_rounds(
+    topology: Topology,
+    config: "ScenarioConfig",
+    vps: List[VantagePoint],
+    communities: CommunityRegistry,
+    strippers: Set[int],
+    workers: int = 0,
+) -> PathCorpus:
+    """The converged collection round plus the configured churn rounds.
+
+    Churn rounds fail a small random subset of links and re-collect.
+    The merged corpus then contains paths from several routing states,
+    like a real month of table dumps — in particular, backup transit
+    links show up with full triplet context.
+    """
+    collector = RouteCollector(
+        topology, vps, communities, strippers, workers=workers
+    )
     corpus = collector.collect()
-    # Churn rounds: fail a small random subset of links and re-collect.
-    # The merged corpus then contains paths from several routing states,
-    # like a real month of table dumps — in particular, backup transit
-    # links show up with full triplet context.
     meas = config.measurement
     if meas.n_churn_rounds > 0:
         rng = child_rng(config.seed, "measurement.churn")
@@ -231,4 +294,24 @@ def collect_corpus(
                 continue
             churned = AdjacencyIndex(topology.graph, exclude=failed)
             collector.collect(corpus=corpus, adjacency=churned)
+    return corpus
+
+
+def collect_corpus(
+    topology: Topology,
+    config: "ScenarioConfig",
+    communities: Optional[CommunityRegistry] = None,
+    workers: int = 0,
+) -> Tuple[PathCorpus, List[VantagePoint], CommunityRegistry, Set[int]]:
+    """One-call measurement layer: choose VPs, build codebooks, collect.
+
+    Returns the corpus plus the measurement artefacts downstream layers
+    need (the VP list, the community registry, and the stripper set).
+    """
+    vps, communities, strippers = measurement_setup(
+        topology, config, communities
+    )
+    corpus = collect_rounds(
+        topology, config, vps, communities, strippers, workers=workers
+    )
     return corpus, vps, communities, strippers

@@ -171,14 +171,30 @@ def compute_route_tree(adj: AdjacencyIndex, origin: int) -> RouteTree:
 
 
 def iter_route_trees(
-    adj: AdjacencyIndex, origins: Optional[Iterable[int]] = None
+    adj: AdjacencyIndex,
+    origins: Optional[Iterable[int]] = None,
+    workers: int = 0,
 ) -> Iterable[RouteTree]:
     """Yield the route tree of every origin (all ASes by default).
 
     Trees are produced lazily so callers can extract vantage-point paths
     and drop each tree before the next one is built — the full set of
     trees would be quadratic in memory.
+
+    ``workers`` shards the per-origin fan-out across that many worker
+    processes (see :class:`repro.pipeline.parallel.ParallelPropagator`);
+    the yielded sequence is identical to the serial one — same trees,
+    same origin order — because every tie-break in
+    :func:`compute_route_tree` is explicit and the parallel merge
+    preserves submission order.  ``workers=0`` (default) stays fully
+    in-process.
     """
+    if workers:
+        from repro.pipeline.parallel import ParallelPropagator
+
+        propagator = ParallelPropagator(adj, workers=workers)
+        yield from propagator.iter_route_trees(origins)
+        return
     if origins is None:
         origins = adj.asns
     for origin in origins:

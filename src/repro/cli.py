@@ -8,10 +8,15 @@ Exposes the reproduction pipeline without writing Python::
     repro build --out ./artifacts        # export all dataset files
     repro export --out ./results         # machine-readable results bundle
     repro evolve --months 6              # §7 re-sampling experiment
+    repro cache list                     # inspect the artifact cache
 
 Every command accepts ``--ases``, ``--vps``, ``--seed`` and
 ``--churn-rounds`` to size the synthetic Internet (defaults are scaled
-down from the paper-scale scenario so the CLI answers in seconds).
+down from the paper-scale scenario so the CLI answers in seconds),
+plus the execution-policy knobs ``--workers N`` (propagation worker
+processes; 0 = serial, -1 = CPU count) and ``--cache`` /
+``--no-cache`` (reuse scenario artifacts from the content-addressed
+cache under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 """
 
 from __future__ import annotations
@@ -39,6 +44,17 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
                         help="scenario seed (default 2018)")
     parser.add_argument("--churn-rounds", type=int, default=2,
                         help="extra collection rounds with link churn")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="propagation worker processes "
+                             "(0 = serial, -1 = CPU count; default 0)")
+    parser.add_argument("--cache", dest="cache", action="store_true",
+                        default=False,
+                        help="reuse scenario artifacts from the cache")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="force recomputation (default)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root (default $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro)")
 
 
 def _config_from(args: argparse.Namespace) -> ScenarioConfig:
@@ -50,13 +66,32 @@ def _config_from(args: argparse.Namespace) -> ScenarioConfig:
     return config
 
 
+def _cache_from(args: argparse.Namespace):
+    if not getattr(args, "cache", False):
+        return None
+    from repro.pipeline.cache import ArtifactCache
+
+    return ArtifactCache(root=args.cache_dir)
+
+
 def _build(args: argparse.Namespace) -> Scenario:
     print(
         f"building scenario (ases={args.ases}, vps={args.vps}, "
-        f"seed={args.seed}) ...",
+        f"seed={args.seed}, workers={args.workers}, "
+        f"cache={'on' if args.cache else 'off'}) ...",
         file=sys.stderr,
     )
-    return build_scenario(_config_from(args))
+    cache = _cache_from(args)
+    scenario = build_scenario(
+        _config_from(args), workers=args.workers, cache=cache
+    )
+    if cache is not None:
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"under {cache.root}",
+            file=sys.stderr,
+        )
+    return scenario
 
 
 # ---------------------------------------------------------------------------
@@ -158,6 +193,35 @@ def cmd_evolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.pipeline.cache import ArtifactCache
+
+    cache = ArtifactCache(root=args.cache_dir)
+    if args.action == "path":
+        print(cache.root)
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+    # list
+    records = cache.entries()
+    if not records:
+        print(f"cache at {cache.root} is empty")
+        return 0
+    print(f"cache at {cache.root} — {len(records)} entr"
+          f"{'y' if len(records) == 1 else 'ies'}, "
+          f"{cache.total_size() / 1e6:.1f} MB")
+    for record in records:
+        seed = record["seed"] if record["seed"] is not None else "?"
+        ases = record["n_ases"] if record["n_ases"] is not None else "?"
+        print(f"  {record['key']}  seed={seed} ases={ases} "
+              f"{record['size_bytes'] / 1e6:6.1f} MB  "
+              f"[{', '.join(record['files'])}]")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 
 def make_parser() -> argparse.ArgumentParser:
@@ -203,6 +267,16 @@ def make_parser() -> argparse.ArgumentParser:
                           help="months before the same link counts again")
     _add_scenario_options(p_evolve)
     p_evolve.set_defaults(func=cmd_evolve)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect or clear the artifact cache")
+    p_cache.add_argument("action", nargs="?", default="list",
+                         choices=("list", "clear", "path"),
+                         help="what to do (default: list)")
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache root (default $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    p_cache.set_defaults(func=cmd_cache)
 
     return parser
 

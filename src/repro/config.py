@@ -16,10 +16,36 @@ Everything is an explicit field so that the ablation benchmarks
 from __future__ import annotations
 
 import dataclasses
+import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.topology.regions import Region
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively convert a config value into plain JSON-able data.
+
+    Enum keys/values become their names, dataclasses become field
+    dicts, tuples become lists.  Dict keys are stringified and sorted
+    so the resulting JSON is independent of insertion order — the
+    property the artifact cache's content addressing rests on.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        converted = {str(_canonical(k)): _canonical(v) for k, v in value.items()}
+        return dict(sorted(converted.items()))
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
 
 
 def _region_dict(af: float, ap: float, ar: float, l: float, r: float) -> Dict[Region, float]:
@@ -277,6 +303,22 @@ class ScenarioConfig:
     def replace(self, **kwargs) -> "ScenarioConfig":
         """Functional update (e.g. ``cfg.replace(seed=1)``)."""
         return dataclasses.replace(self, **kwargs)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """A nested plain-data view with deterministic ordering.
+
+        Two configs with equal fields produce byte-identical canonical
+        JSON regardless of how their dicts were built; the artifact
+        cache derives its content address from this.
+        """
+        return _canonical(self)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON of this config."""
+        blob = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""

@@ -9,7 +9,9 @@ artefacts a study on real data would touch:
 * :mod:`repro.datasets.as2org` — CAIDA AS-to-Organization files;
 * :mod:`repro.datasets.delegation` — RIR ``delegated-extended`` files;
 * :mod:`repro.datasets.iana` — the IANA AS-number registry;
-* :mod:`repro.datasets.customercone` — customer cones and PPDC.
+* :mod:`repro.datasets.customercone` — customer cones and PPDC;
+* :mod:`repro.datasets.validationset` — cleaned validation sets (the
+  artifact cache's on-disk form of the §4.2 output).
 """
 
 from repro.datasets.paths import CollectedRoute, Path, PathCorpus

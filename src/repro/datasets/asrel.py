@@ -65,11 +65,20 @@ class RelationshipSet:
         return None
 
     def links(self) -> Iterator[LinkKey]:
-        return iter(self._rels.keys())
+        """Link keys in sorted order.
+
+        Iteration is deliberately *not* insertion-ordered: a set read
+        back from disk or assembled by a different (but equivalent)
+        code path must drive every consumer identically, so the
+        canonical key order is the only one ever exposed.
+        """
+        return iter(sorted(self._rels))
 
     def items(self) -> Iterator[Tuple[LinkKey, RelType, int]]:
-        """Yield (link key, relationship, provider-or-smaller-asn)."""
-        for key, (rel, provider) in self._rels.items():
+        """Yield (link key, relationship, provider-or-smaller-asn) in
+        sorted key order (see :meth:`links`)."""
+        for key in sorted(self._rels):
+            rel, provider = self._rels[key]
             yield key, rel, provider
 
     def counts(self) -> Dict[RelType, int]:
@@ -79,9 +88,13 @@ class RelationshipSet:
         return out
 
     def customers_map(self) -> Dict[int, List[int]]:
-        """provider -> customers, derived from the P2C entries."""
+        """provider -> customers, derived from the P2C entries.
+
+        Built over the sorted key order, so the customer lists come out
+        identical no matter how (or from where) the set was populated.
+        """
         result: Dict[int, List[int]] = {}
-        for key, (rel, provider) in self._rels.items():
+        for key, rel, provider in self.items():
             if rel is not RelType.P2C:
                 continue
             customer = key[0] if key[1] == provider else key[1]

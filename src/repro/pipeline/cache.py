@@ -1,0 +1,292 @@
+"""Content-addressed scenario artifact cache.
+
+Scenario building is deterministic: every artifact is a pure function
+of the :class:`~repro.config.ScenarioConfig` and the code that ran.
+That makes the expensive artifacts — the propagated path corpus, the
+inferred relationship sets, the cleaned validation sets — perfect cache
+entries keyed by a content address:
+
+    key = sha256(canonical-JSON(config) + code version)[:20]
+
+Layout (one directory per scenario key under the cache root)::
+
+    <root>/<key>/meta.json              fingerprint provenance + version
+    <root>/<key>/corpus.paths           bgpdump-style path corpus
+    <root>/<key>/rels-<algorithm>.asrel CAIDA serial-1 as-rel file
+    <root>/<key>/validation-<policy>.txt cleaned validation set
+
+The root is ``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``.
+
+Invalidation rules
+------------------
+* **Code version**: the version string participates in the key, so any
+  bump orphans every old entry (they simply stop being addressed).  A
+  ``meta.json`` whose recorded version disagrees with the reader's is
+  treated as foreign and the whole entry is discarded — this catches
+  truncated keys and hand-edited caches.
+* **Corruption**: every load parses defensively; an unreadable artifact
+  is deleted and reported as a miss, so a corrupted cache can only cost
+  a recompute, never an error or a wrong result.
+* **Eviction**: none automatic — entries are small text files; the
+  ``repro cache clear`` subcommand wipes the root on demand.
+
+All artifacts round-trip through the existing dataset serialisers
+(:mod:`repro.datasets.bgpdump`, :mod:`repro.datasets.asrel`,
+:mod:`repro.datasets.validationset`), so a cache entry doubles as a
+human-readable export of the scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.datasets.asrel import RelationshipSet, read_asrel, write_asrel
+from repro.datasets.bgpdump import read_path_corpus, write_path_corpus
+from repro.datasets.paths import PathCorpus
+from repro.datasets.validationset import read_validation_set, write_validation_set
+from repro.validation.cleaning import CleanedValidation, MultiLabelPolicy
+
+if TYPE_CHECKING:
+    from repro.config import ScenarioConfig
+
+#: Bump when a pipeline change alters any cached artifact's content
+#: without touching the library version (invalidates every entry).
+PIPELINE_CACHE_VERSION = "1"
+
+_META_FILE = "meta.json"
+_CORPUS_FILE = "corpus.paths"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _code_version() -> str:
+    from repro import __version__
+
+    return f"{__version__}+cache{PIPELINE_CACHE_VERSION}"
+
+
+class ArtifactCache:
+    """Load/store scenario artifacts under a content-addressed layout.
+
+    ``hits``/``misses`` count load attempts for observability (the warm
+    -cache benchmark and the CLI report them); stores are not counted.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        code_version: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.code_version = code_version or _code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # keys and entry management
+    # ------------------------------------------------------------------
+    def scenario_key(self, config: "ScenarioConfig") -> str:
+        """Stable content address of one scenario under this code."""
+        payload = {
+            "config": config.canonical_dict(),
+            "code": self.code_version,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / key
+
+    def _discard(self, path: Path) -> None:
+        """Best-effort removal of a corrupt artifact or foreign entry."""
+        try:
+            if path.is_dir():
+                shutil.rmtree(path)
+            else:
+                path.unlink()
+        except OSError:
+            pass
+
+    def _entry_valid(self, key: str) -> bool:
+        """Check the entry's meta record; purge foreign/broken entries."""
+        entry = self._entry_dir(key)
+        meta_path = entry / _META_FILE
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            if meta.get("code") != self.code_version:
+                raise ValueError("code version mismatch")
+        except (OSError, ValueError):
+            self._discard(entry)
+            return False
+        return True
+
+    def _write_meta(self, key: str, config: "ScenarioConfig") -> None:
+        entry = self._entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        meta_path = entry / _META_FILE
+        if meta_path.exists():
+            return
+        meta = {
+            "code": self.code_version,
+            "fingerprint": config.fingerprint(),
+            "config": config.canonical_dict(),
+        }
+        _atomic_write(meta_path, json.dumps(meta, sort_keys=True, indent=1))
+
+    def _load(self, key: str, filename: str, reader) -> Optional[Any]:
+        """Shared defensive-load path: validate entry, parse, recover."""
+        path = self._entry_dir(key) / filename
+        if not path.exists() or not self._entry_valid(key):
+            self.misses += 1
+            return None
+        try:
+            artifact = reader(path)
+        except Exception:
+            # A corrupted entry must never crash a build: drop the file
+            # and fall back to recomputation.
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    # ------------------------------------------------------------------
+    # artifact load/store
+    # ------------------------------------------------------------------
+    def load_corpus(self, key: str) -> Optional[PathCorpus]:
+        return self._load(key, _CORPUS_FILE, read_path_corpus)
+
+    def store_corpus(
+        self, key: str, corpus: PathCorpus, config: "ScenarioConfig"
+    ) -> Path:
+        self._write_meta(key, config)
+        path = self._entry_dir(key) / _CORPUS_FILE
+        _atomic_file(path, lambda tmp: write_path_corpus(corpus, tmp))
+        return path
+
+    def load_rels(self, key: str, algorithm: str) -> Optional[RelationshipSet]:
+        return self._load(key, f"rels-{algorithm}.asrel", read_asrel)
+
+    def store_rels(
+        self,
+        key: str,
+        algorithm: str,
+        rels: RelationshipSet,
+        config: "ScenarioConfig",
+    ) -> Path:
+        self._write_meta(key, config)
+        path = self._entry_dir(key) / f"rels-{algorithm}.asrel"
+        header = [f"inferred by {algorithm} (repro pipeline cache)"]
+        _atomic_file(path, lambda tmp: write_asrel(rels, tmp, header_lines=header))
+        return path
+
+    def load_validation(
+        self, key: str, policy: MultiLabelPolicy
+    ) -> Optional[CleanedValidation]:
+        return self._load(
+            key, f"validation-{policy.value}.txt", read_validation_set
+        )
+
+    def store_validation(
+        self,
+        key: str,
+        policy: MultiLabelPolicy,
+        cleaned: CleanedValidation,
+        config: "ScenarioConfig",
+    ) -> Path:
+        self._write_meta(key, config)
+        path = self._entry_dir(key) / f"validation-{policy.value}.txt"
+        _atomic_file(path, lambda tmp: write_validation_set(cleaned, tmp))
+        return path
+
+    # ------------------------------------------------------------------
+    # inspection / maintenance (the ``repro cache`` subcommand)
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        """One summary record per cache entry, newest last."""
+        if not self.root.is_dir():
+            return []
+        records = []
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir():
+                continue
+            files = sorted(p.name for p in entry.iterdir() if p.is_file())
+            size = sum(p.stat().st_size for p in entry.iterdir() if p.is_file())
+            meta: Dict[str, Any] = {}
+            meta_path = entry / _META_FILE
+            if meta_path.exists():
+                try:
+                    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                except ValueError:
+                    meta = {"code": "<unreadable>"}
+            records.append(
+                {
+                    "key": entry.name,
+                    "files": files,
+                    "size_bytes": size,
+                    "code": meta.get("code"),
+                    "seed": meta.get("config", {}).get("seed"),
+                    "n_ases": meta.get("config", {})
+                    .get("topology", {})
+                    .get("n_ases"),
+                }
+            )
+        return records
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of entries removed."""
+        removed = 0
+        for record in self.entries():
+            self._discard(self.root / record["key"])
+            removed += 1
+        return removed
+
+    def total_size(self) -> int:
+        return sum(record["size_bytes"] for record in self.entries())
+
+
+def resolve_cache(
+    cache: Union[None, bool, str, Path, ArtifactCache]
+) -> Optional[ArtifactCache]:
+    """Coerce the ``cache`` argument accepted by ``build_scenario``.
+
+    ``None``/``False`` disable caching, ``True`` uses the default root,
+    a path string uses that root, and an :class:`ArtifactCache` is
+    passed through.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ArtifactCache()
+    if isinstance(cache, ArtifactCache):
+        return cache
+    return ArtifactCache(root=cache)
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _atomic_file(path: Path, writer) -> None:
+    """Run ``writer(tmp_path)`` then rename over ``path``.
+
+    A crash mid-write leaves at worst a ``.tmp`` straggler, never a
+    half-written artifact that a later load would have to recover from.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    writer(tmp)
+    os.replace(tmp, path)

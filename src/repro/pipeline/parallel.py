@@ -1,0 +1,211 @@
+"""Process-parallel per-origin propagation.
+
+Every origin's route tree is an independent function of the (read-only)
+:class:`~repro.bgp.policy.AdjacencyIndex`, so the per-origin fan-out —
+the hot path of scenario building — shards cleanly across worker
+processes.  :class:`ParallelPropagator` does exactly that while keeping
+the output stream *indistinguishable* from the serial code:
+
+* origins are split into contiguous chunks and submitted in order;
+* results are yielded strictly in submission order (origin-major), so
+  consumers observe the same sequence the serial loop produces;
+* inside a worker the same :func:`compute_route_tree` /
+  :func:`~repro.bgp.collectors.routes_for_origin` code runs, so each
+  element is identical, not merely equivalent — the differential tests
+  in ``tests/pipeline/`` assert byte-identical serialisations.
+
+``workers=0`` falls back to plain in-process iteration (no executor,
+no pickling), which is also the default everywhere; ``workers=None`` or
+a negative count auto-sizes to the machine's CPU count.
+
+The heavy, shared inputs (adjacency index, vantage points, community
+registry, stripper set) travel to each worker exactly once via the pool
+initializer instead of once per task, which keeps the per-chunk payload
+down to a list of origin ASNs.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.bgp.policy import AdjacencyIndex
+from repro.bgp.propagation import RouteTree, compute_route_tree
+
+#: Per-process worker state, populated by the pool initializer.  Plain
+#: module globals are the standard multiprocessing idiom: the dict is
+#: filled once per worker process and read by every chunk it executes.
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count request.
+
+    ``0`` means serial, positive counts are taken literally, and
+    ``None`` or negative values auto-size to the CPU count.
+    """
+    if workers is None or workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def _chunk(origins: Sequence[int], workers: int, chunk_size: Optional[int]) -> List[Sequence[int]]:
+    """Contiguous origin chunks, sized for ~4 chunks per worker.
+
+    Chunking amortises task-submission overhead while staying fine
+    grained enough that an unlucky slow chunk cannot serialise the pool.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(origins) // (workers * 4)))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [origins[i : i + chunk_size] for i in range(0, len(origins), chunk_size)]
+
+
+# ---------------------------------------------------------------------------
+# worker functions (module-level so they pickle under every start method)
+# ---------------------------------------------------------------------------
+
+def _init_tree_worker(adjacency: AdjacencyIndex) -> None:
+    _WORKER_STATE["adjacency"] = adjacency
+
+
+def _tree_chunk(origins: Sequence[int]) -> List[RouteTree]:
+    adjacency = _WORKER_STATE["adjacency"]
+    return [compute_route_tree(adjacency, origin) for origin in origins]
+
+
+def _init_collect_worker(
+    adjacency: AdjacencyIndex,
+    vantage_points: Sequence[Any],
+    communities: Any,
+    strippers: Any,
+) -> None:
+    _WORKER_STATE["adjacency"] = adjacency
+    _WORKER_STATE["vantage_points"] = list(vantage_points)
+    _WORKER_STATE["communities"] = communities
+    _WORKER_STATE["strippers"] = strippers
+
+
+def _collect_chunk(origins: Sequence[int]) -> List[Any]:
+    # Imported here (not at module top) so that worker processes under
+    # the ``spawn`` start method import the minimal closure they need.
+    from repro.bgp.collectors import routes_for_origin
+
+    adjacency = _WORKER_STATE["adjacency"]
+    vantage_points = _WORKER_STATE["vantage_points"]
+    communities = _WORKER_STATE["communities"]
+    strippers = _WORKER_STATE["strippers"]
+    routes: List[Any] = []
+    for origin in origins:
+        tree = compute_route_tree(adjacency, origin)
+        routes.extend(
+            routes_for_origin(tree, vantage_points, communities, strippers)
+        )
+    return routes
+
+
+def _run_chunked(
+    worker_fn: Callable[[Sequence[int]], List[Any]],
+    initializer: Callable[..., None],
+    initargs: tuple,
+    origins: Sequence[int],
+    workers: int,
+    chunk_size: Optional[int],
+) -> Iterator[Any]:
+    """Submit origin chunks to a fresh pool; yield results in order.
+
+    Futures are drained in submission order, which gives the
+    deterministic origin-major merge the differential tests rely on —
+    whatever order the workers *finish* in is invisible to the caller.
+    """
+    chunks = _chunk(origins, workers, chunk_size)
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as pool:
+        futures = [pool.submit(worker_fn, chunk) for chunk in chunks]
+        for future in futures:
+            yield from future.result()
+
+
+class ParallelPropagator:
+    """Sharded route propagation behind the serial iteration API.
+
+    Parameters
+    ----------
+    adjacency:
+        The read-only adjacency index routes are computed over.
+    workers:
+        ``0`` (default) for the serial fallback, a positive count for
+        that many worker processes, ``None``/negative for CPU count.
+    chunk_size:
+        Origins per submitted task; defaults to ~4 chunks per worker.
+    """
+
+    def __init__(
+        self,
+        adjacency: AdjacencyIndex,
+        workers: Optional[int] = 0,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.adjacency = adjacency
+        self.workers = 0 if workers == 0 else resolve_workers(workers)
+        self.chunk_size = chunk_size
+
+    def iter_route_trees(
+        self, origins: Optional[Iterable[int]] = None
+    ) -> Iterator[RouteTree]:
+        """Yield every origin's route tree in input (origin) order.
+
+        Drop-in replacement for
+        :func:`repro.bgp.propagation.iter_route_trees`; with
+        ``workers=0`` it *is* that loop.
+        """
+        origin_list = list(origins) if origins is not None else list(self.adjacency.asns)
+        if self.workers == 0 or len(origin_list) <= 1:
+            for origin in origin_list:
+                yield compute_route_tree(self.adjacency, origin)
+            return
+        yield from _run_chunked(
+            _tree_chunk,
+            _init_tree_worker,
+            (self.adjacency,),
+            origin_list,
+            self.workers,
+            self.chunk_size,
+        )
+
+    def collect_routes(
+        self,
+        vantage_points: Sequence[Any],
+        communities: Any,
+        strippers: Any,
+        origins: Optional[Iterable[int]] = None,
+    ) -> Iterator[Any]:
+        """Yield the collector-visible routes of every origin, in the
+        exact order the serial :class:`~repro.bgp.collectors.RouteCollector`
+        records them (origin-major, vantage-point order within).
+
+        The per-origin tree is built *and reduced to VP paths inside the
+        worker*, so only the small route tuples cross the process
+        boundary — route trees never do.
+        """
+        from repro.bgp.collectors import routes_for_origin
+
+        origin_list = list(origins) if origins is not None else list(self.adjacency.asns)
+        if self.workers == 0 or len(origin_list) <= 1:
+            for origin in origin_list:
+                tree = compute_route_tree(self.adjacency, origin)
+                yield from routes_for_origin(
+                    tree, vantage_points, communities, strippers
+                )
+            return
+        yield from _run_chunked(
+            _collect_chunk,
+            _init_collect_worker,
+            (self.adjacency, list(vantage_points), communities, strippers),
+            origin_list,
+            self.workers,
+            self.chunk_size,
+        )

@@ -28,7 +28,11 @@ from repro.analysis.casestudy import CaseStudyResult, run_case_study
 from repro.analysis.classes import RegionalClassifier, TopologicalClassifier
 from repro.analysis.heatmap import ImbalanceHeatmaps, build_heatmaps, metric_values
 from repro.analysis.tables import ValidationTable, build_table
-from repro.bgp.collectors import VantagePoint, collect_corpus
+from repro.bgp.collectors import (
+    VantagePoint,
+    collect_rounds,
+    measurement_setup,
+)
 from repro.bgp.communities import CommunityRegistry
 from repro.config import ScenarioConfig
 from repro.datasets.asrel import RelationshipSet
@@ -38,6 +42,7 @@ from repro.inference.base import InferenceAlgorithm
 from repro.inference.gao import GaoInference
 from repro.inference.problink import ProbLink
 from repro.inference.toposcope import TopoScope
+from repro.pipeline.cache import ArtifactCache, resolve_cache
 from repro.topology.generator import Topology, generate_topology
 from repro.topology.graph import LinkKey, RelType
 from repro.validation.cleaning import (
@@ -61,9 +66,17 @@ class Scenario:
     vantage_points: List[VantagePoint]
     communities: CommunityRegistry
     strippers: Set[int]
-    raw_validation: CompiledValidation
     validation: CleanedValidation
 
+    #: Propagation worker processes used when (re)computing corpora.
+    workers: int = 0
+    #: Artifact cache serving/receiving this scenario's heavy outputs.
+    cache: Optional[ArtifactCache] = field(default=None, repr=False)
+    cache_key: Optional[str] = field(default=None, repr=False)
+
+    _raw_validation: Optional[CompiledValidation] = field(
+        default=None, repr=False
+    )
     _inferences: Dict[str, RelationshipSet] = field(default_factory=dict, repr=False)
     _algorithms: Dict[str, InferenceAlgorithm] = field(
         default_factory=dict, repr=False
@@ -71,6 +84,26 @@ class Scenario:
     _regional: Optional[RegionalClassifier] = field(default=None, repr=False)
     _topological: Optional[TopologicalClassifier] = field(default=None, repr=False)
     _inferred_links: Optional[List[LinkKey]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    @property
+    def raw_validation(self) -> CompiledValidation:
+        """The pre-cleaning compiled validation data.
+
+        Computed lazily: when the cleaned validation set was served from
+        the artifact cache, the raw compilation is only (re)run for the
+        few consumers that inspect pre-cleaning state (the §4.2 cleaning
+        benchmarks, the complex-relationship detector).  Recompilation
+        is deterministic — labelled child RNG streams — so the lazily
+        built object is identical to the one an uncached build carries.
+        """
+        if self._raw_validation is None:
+            self._raw_validation = compile_validation(
+                self.topology, self.corpus, self.communities, self.config
+            )
+        return self._raw_validation
 
     # ------------------------------------------------------------------
     # inference
@@ -87,17 +120,37 @@ class Scenario:
         raise ValueError(f"unknown algorithm {name!r}")
 
     def algorithm(self, name: str) -> InferenceAlgorithm:
-        """The (post-run) algorithm object, e.g. for its ``clique_``."""
-        if name not in self._algorithms:
-            self.infer(name)
-        return self._algorithms[name]
+        """The (post-run) algorithm object, e.g. for its ``clique_``.
 
-    def infer(self, name: str) -> RelationshipSet:
-        """Inference results, computed once per algorithm."""
-        if name not in self._inferences:
+        When the relationship set came from the artifact cache, no
+        algorithm object exists yet; the algorithm is then run for real
+        (its output is identical — inference is deterministic).
+        """
+        if name not in self._algorithms:
             algorithm = self._make_algorithm(name)
             self._inferences[name] = algorithm.infer(self.corpus)
             self._algorithms[name] = algorithm
+        return self._algorithms[name]
+
+    def infer(self, name: str) -> RelationshipSet:
+        """Inference results, computed once per algorithm.
+
+        With a cache attached, results round-trip through it: a hit
+        skips the algorithm entirely, a miss computes and stores.
+        """
+        if name not in self._inferences:
+            rels = None
+            if self.cache is not None and self.cache_key is not None:
+                rels = self.cache.load_rels(self.cache_key, name)
+            if rels is None:
+                algorithm = self._make_algorithm(name)
+                rels = algorithm.infer(self.corpus)
+                self._algorithms[name] = algorithm
+                if self.cache is not None and self.cache_key is not None:
+                    self.cache.store_rels(
+                        self.cache_key, name, rels, self.config
+                    )
+            self._inferences[name] = rels
         return self._inferences[name]
 
     # ------------------------------------------------------------------
@@ -234,15 +287,56 @@ class Scenario:
 def build_scenario(
     config: Optional[ScenarioConfig] = None,
     multi_label_policy: MultiLabelPolicy = MultiLabelPolicy.IGNORE,
+    *,
+    workers: int = 0,
+    cache=None,
 ) -> Scenario:
-    """Run the full pipeline for ``config`` (default: paper scale)."""
+    """Run the full pipeline for ``config`` (default: paper scale).
+
+    ``workers`` shards the propagation fan-out across that many worker
+    processes (0 = serial, negative/None = CPU count).  ``cache``
+    enables the content-addressed artifact cache: ``True`` for the
+    default root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), a path,
+    or an :class:`~repro.pipeline.cache.ArtifactCache` instance.  On a
+    warm cache the corpus and cleaned validation set are loaded instead
+    of recomputed — propagation is skipped entirely — and inference
+    results round-trip through the cache as they are requested.  Both
+    knobs are pure execution policy: every artifact is byte-identical
+    to a serial, uncached build (the differential tests in
+    ``tests/pipeline/`` enforce this).
+    """
     if config is None:
         config = ScenarioConfig.default()
     config.validate()
+    cache_obj = resolve_cache(cache)
     topology = generate_topology(config)
-    corpus, vps, communities, strippers = collect_corpus(topology, config)
-    raw = compile_validation(topology, corpus, communities, config)
-    cleaned = clean_validation(raw.data, topology.orgs, policy=multi_label_policy)
+    # The cheap measurement artefacts are always rebuilt (deterministic
+    # labelled RNG streams); only the expensive propagation product and
+    # its derivatives go through the cache.
+    vps, communities, strippers = measurement_setup(topology, config)
+    key = cache_obj.scenario_key(config) if cache_obj is not None else None
+    corpus = None
+    corpus_from_cache = False
+    if cache_obj is not None:
+        corpus = cache_obj.load_corpus(key)
+        corpus_from_cache = corpus is not None
+    if corpus is None:
+        corpus = collect_rounds(
+            topology, config, vps, communities, strippers, workers=workers
+        )
+        if cache_obj is not None:
+            cache_obj.store_corpus(key, corpus, config)
+    raw: Optional[CompiledValidation] = None
+    cleaned = None
+    if corpus_from_cache:
+        cleaned = cache_obj.load_validation(key, multi_label_policy)
+    if cleaned is None:
+        raw = compile_validation(topology, corpus, communities, config)
+        cleaned = clean_validation(
+            raw.data, topology.orgs, policy=multi_label_policy
+        )
+        if cache_obj is not None:
+            cache_obj.store_validation(key, multi_label_policy, cleaned, config)
     return Scenario(
         config=config,
         topology=topology,
@@ -250,8 +344,11 @@ def build_scenario(
         vantage_points=vps,
         communities=communities,
         strippers=strippers,
-        raw_validation=raw,
         validation=cleaned,
+        workers=workers,
+        cache=cache_obj,
+        cache_key=key,
+        _raw_validation=raw,
     )
 
 

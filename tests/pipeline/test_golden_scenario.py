@@ -1,0 +1,82 @@
+"""Golden regression lock on the small scenario's paper outputs.
+
+``golden_small_seed7.json`` is a checked-in snapshot of what
+``small_scenario(seed=7)`` produces: corpus statistics, the §4.2
+cleaning report, the full ASRank validation table (Table-1-style rows,
+exact floats) and the regional bias profile (Figure-1-style).  The test
+recomputes everything and asserts **exact** equality — floats included,
+since JSON round-trips IEEE doubles losslessly via ``repr``.
+
+Any perf refactor (parallel propagation, caching, index changes) that
+shifts a single route, label, or tie-break fails here, loudly.  If a
+*deliberate* science change moves the numbers, regenerate with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/pipeline/test_golden_scenario.py
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import small_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "golden_small_seed7.json"
+
+
+def compute_payload() -> dict:
+    """Everything the golden file locks down, as plain JSON data."""
+    scenario = small_scenario(seed=7)
+    table = scenario.validation_table("asrank")
+    return {
+        "config_fingerprint": scenario.config.fingerprint(),
+        "corpus_stats": scenario.corpus.stats(),
+        "cleaning_report": scenario.validation.report.as_dict(),
+        "asrank_table": {
+            "total": dataclasses.asdict(table.total),
+            "rows": [dataclasses.asdict(row.metrics) for row in table.rows],
+        },
+        "regional_bias": [
+            dataclasses.asdict(cls)
+            for cls in scenario.regional_bias().classes
+        ],
+    }
+
+
+def test_golden_small_scenario():
+    payload = compute_payload()
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip("golden snapshot regenerated — commit the diff")
+    assert GOLDEN_PATH.exists(), (
+        "golden snapshot missing; regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    # Compare section by section for readable failures before the
+    # whole-payload equality check catches anything left.
+    for section in golden:
+        assert payload[section] == golden[section], (
+            f"golden mismatch in {section!r}"
+        )
+    assert payload == golden
+
+
+def test_golden_covers_precision_rows():
+    """The snapshot must actually contain Table-1-style content —
+    guard against an accidentally empty regeneration."""
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert golden["asrank_table"]["rows"], "no table rows locked"
+    total = golden["asrank_table"]["total"]
+    assert 0.0 < total["ppv_p2c"] <= 1.0
+    assert golden["regional_bias"], "no bias classes locked"
+    assert golden["corpus_stats"]["n_routes"] > 0

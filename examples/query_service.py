@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The HTTP query service, end to end and in one process.
+
+Starts ``repro.service`` on a background event-loop thread, builds the
+small seed-7 scenario through ``POST /v1/scenarios``, then uses the
+blocking :class:`ServiceClient` to
+
+* look up single relationships and a batch (``/v1/rel/...``),
+* walk an AS's visible neighbors (``/v1/as/{asn}/neighbors``),
+* fetch the regional/topological bias profiles (``/v1/bias/...``),
+* pull ASRank's validation table (``/v1/table/asrank``),
+* run the Cogent-style case study (``/v1/casestudy``),
+* and read the ops counters (``/metrics``).
+
+The same endpoints are available out-of-process via
+``repro serve --port 8787`` — see docs/service.md.
+
+Run:  python examples/query_service.py
+"""
+
+from repro.service import ReproService, ServiceClient, ServiceError, serve_in_thread
+
+
+def main() -> None:
+    service = ReproService(pool_size=2)
+    with serve_in_thread(service) as running:
+        print(f"service listening on http://{running.host}:{running.port}")
+        with ServiceClient(host=running.host, port=running.port,
+                           timeout=300) as client:
+            print("healthz:", client.healthz())
+
+            print("\nbuilding the small seed-7 scenario over HTTP ...")
+            built = client.build_scenario(preset="small", seed=7)
+            print(f"  scenario {built['scenario']}  "
+                  f"(built={built['built']}, "
+                  f"{built['build_seconds']:.2f}s, "
+                  f"{built['stats']['n_inferred_links']} inferred links)")
+
+            as1, as2 = built["sample_links"][0]
+            record = client.rel("asrank", as1, as2)
+            print(f"\npoint query  {as1}-{as2}: "
+                  f"asrank={record['relationship']}  "
+                  f"validation={record['validation']}  "
+                  f"classes={record['classes']}")
+
+            batch = client.rel_batch("asrank", built["sample_links"])
+            print("batch query:", [(r["as1"], r["as2"], r["relationship"])
+                                   for r in batch["results"]])
+
+            neighbors = client.neighbors(as1)
+            print(f"\nAS{as1} has {neighbors['degree']} visible neighbors "
+                  f"(transit degree {neighbors['transit_degree']})")
+
+            bias = client.bias("asrank")
+            worst = min(bias["regional"], key=lambda row: row["coverage"])
+            print(f"least-validated regional class: {worst['class']} "
+                  f"(share {worst['share']:.1%}, "
+                  f"coverage {worst['coverage']:.1%})")
+
+            table = client.table("asrank")["table"]
+            t1_tr = next(row for row in table["rows"]
+                         if row["class"] == "T1-TR")
+            print(f"ASRank overall PPV(p2p): "
+                  f"{table['total']['ppv_p2p']:.3f}   "
+                  f"on T1-TR links: {t1_tr['ppv_p2p']:.3f}")
+
+            study = client.casestudy("asrank", "T1-TR")
+            print(f"case study: focus AS{study['focus_member']} touches "
+                  f"{study['focus_share']:.0%} of wrong T1-TR p2p links")
+
+            # Errors are structured JSON, surfaced as ServiceError.
+            try:
+                client.rel("asrank", 999999, 999998)
+            except ServiceError as exc:
+                print(f"\nunknown link -> HTTP {exc.status} "
+                      f"code={exc.code!r}")
+
+            metrics = client.metrics()
+            print(f"served {metrics['requests']['total']} requests, "
+                  f"pool builds={metrics['pool']['builds']}, "
+                  f"indexes built={metrics['indexes_built']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""``python -m repro`` — the console script without installation.
+
+Delegates straight to :func:`repro.cli.main`, so every subcommand
+(``figures``, ``table``, ``serve``, ``cache`` ...) works from a plain
+checkout with ``PYTHONPATH=src``.
+"""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,11 @@ Layout of the bundle::
       "sec42_cleaning": {...},
       "sec61_casestudy": {...}
     }
+
+The row serialisers (:func:`profile_rows`, :func:`metrics_row`,
+:func:`table_dict`) are public: the HTTP query service
+(:mod:`repro.service`) serves the same shapes, so bundle files and API
+responses stay field-compatible.
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ if TYPE_CHECKING:  # avoid an analysis <-> scenario import cycle
 DEFAULT_ALGORITHMS = ("asrank", "problink", "toposcope")
 
 
-def _profile_rows(profile: BiasProfile) -> List[Dict[str, Any]]:
+def profile_rows(profile: BiasProfile) -> List[Dict[str, Any]]:
     return [
         {
             "class": entry.class_name,
@@ -51,7 +56,7 @@ def _profile_rows(profile: BiasProfile) -> List[Dict[str, Any]]:
     ]
 
 
-def _metrics_row(metrics: ClassMetrics) -> Dict[str, Any]:
+def metrics_row(metrics: ClassMetrics) -> Dict[str, Any]:
     return {
         "class": metrics.class_name,
         "ppv_p2p": round(metrics.ppv_p2p, 6),
@@ -65,10 +70,10 @@ def _metrics_row(metrics: ClassMetrics) -> Dict[str, Any]:
     }
 
 
-def _table_dict(table: ValidationTable) -> Dict[str, Any]:
+def table_dict(table: ValidationTable) -> Dict[str, Any]:
     return {
-        "total": _metrics_row(table.total),
-        "rows": [_metrics_row(row.metrics) for row in table.rows],
+        "total": metrics_row(table.total),
+        "rows": [metrics_row(row.metrics) for row in table.rows],
     }
 
 
@@ -87,8 +92,8 @@ def results_bundle(
             "seed": scenario.config.seed,
             "n_ases": scenario.config.topology.n_ases,
         },
-        "fig1_regional": _profile_rows(scenario.regional_bias()),
-        "fig2_topological": _profile_rows(scenario.topological_bias()),
+        "fig1_regional": profile_rows(scenario.regional_bias()),
+        "fig2_topological": profile_rows(scenario.topological_bias()),
         "fig3_transit_degree": {
             "inference": heatmaps.inference.fractions().tolist(),
             "validation": heatmaps.validation.fractions().tolist(),
@@ -97,7 +102,7 @@ def results_bundle(
             "corner_masses": list(heatmaps.corner_masses()),
         },
         "tables": {
-            name: _table_dict(scenario.validation_table(name))
+            name: table_dict(scenario.validation_table(name))
             for name in algorithms
         },
         "sec42_cleaning": scenario.validation.report.as_dict(),

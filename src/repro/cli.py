@@ -8,7 +8,8 @@ Exposes the reproduction pipeline without writing Python::
     repro build --out ./artifacts        # export all dataset files
     repro export --out ./results         # machine-readable results bundle
     repro evolve --months 6              # §7 re-sampling experiment
-    repro cache list                     # inspect the artifact cache
+    repro cache list [--json]            # inspect the artifact cache
+    repro serve --port 8787              # HTTP query service (repro.service)
 
 Every command accepts ``--ases``, ``--vps``, ``--seed`` and
 ``--churn-rounds`` to size the synthetic Internet (defaults are scaled
@@ -22,11 +23,14 @@ cache under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro import ScenarioConfig, build_scenario
+from repro.pipeline.parallel import resolve_workers
 from repro.analysis.report import (
     render_bias_figure,
     render_imbalance_heatmaps,
@@ -75,15 +79,18 @@ def _cache_from(args: argparse.Namespace):
 
 
 def _build(args: argparse.Namespace) -> Scenario:
+    # One shared normalisation for every command (and `repro serve`):
+    # 0 = serial, -1/None = CPU count, positive counts literal.
+    workers = resolve_workers(args.workers)
     print(
         f"building scenario (ases={args.ases}, vps={args.vps}, "
-        f"seed={args.seed}, workers={args.workers}, "
+        f"seed={args.seed}, workers={workers}, "
         f"cache={'on' if args.cache else 'off'}) ...",
         file=sys.stderr,
     )
     cache = _cache_from(args)
     scenario = build_scenario(
-        _config_from(args), workers=args.workers, cache=cache
+        _config_from(args), workers=workers, cache=cache
     )
     if cache is not None:
         print(
@@ -198,7 +205,10 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
     cache = ArtifactCache(root=args.cache_dir)
     if args.action == "path":
-        print(cache.root)
+        if args.json:
+            print(json.dumps({"root": str(cache.root)}))
+        else:
+            print(cache.root)
         return 0
     if args.action == "clear":
         removed = cache.clear()
@@ -207,6 +217,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     # list
     records = cache.entries()
+    if args.json:
+        # Machine-readable listing for the query service and scripts.
+        print(json.dumps(
+            {
+                "root": str(cache.root),
+                "total_size_bytes": cache.total_size(),
+                "entries": records,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     if not records:
         print(f"cache at {cache.root} is empty")
         return 0
@@ -219,6 +241,21 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"  {record['key']}  seed={seed} ases={ases} "
               f"{record['size_bytes'] / 1e6:6.1f} MB  "
               f"[{', '.join(record['files'])}]")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import ReproService
+
+    service = ReproService(
+        pool_size=args.pool_size,
+        workers=resolve_workers(args.workers),
+        cache=_cache_from(args),
+    )
+    try:
+        asyncio.run(service.run(host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -276,7 +313,34 @@ def make_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--cache-dir", default=None,
                          help="cache root (default $REPRO_CACHE_DIR "
                               "or ~/.cache/repro)")
+    p_cache.add_argument("--json", action="store_true", default=False,
+                         help="machine-readable output (list/path)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP query service (scenarios, relationships, "
+             "bias reports)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="TCP port (default 8787; 0 = pick a free one)")
+    p_serve.add_argument("--pool-size", type=int, default=4,
+                         help="max scenarios kept built in memory "
+                              "(LRU eviction; default 4)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="propagation worker processes per build "
+                              "(0 = serial, -1 = CPU count; default 0)")
+    p_serve.add_argument("--cache", dest="cache", action="store_true",
+                         default=False,
+                         help="warm-start builds from the artifact cache")
+    p_serve.add_argument("--no-cache", dest="cache", action="store_false",
+                         help="always build from scratch (default)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="cache root (default $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -1,0 +1,100 @@
+"""Service observability: request counters, latency histogram, gauges.
+
+Everything here is plain in-process counting — no third-party metrics
+client — rendered as one JSON document by ``GET /metrics``.  The shape
+is stable enough for scripts (and the test suite) to assert on:
+
+* ``requests``: total count plus per-route ``{count, errors}``;
+* ``latency_ms``: fixed-bucket histogram over all handled requests;
+* ``in_flight``: requests currently inside a handler;
+* ``pool``: hits/misses/evictions/builds/coalesced from the
+  :class:`~repro.service.pool.ScenarioPool` (builds are what the
+  "no per-request re-inference" acceptance check watches);
+* ``indexes_built``: query indexes / cached reports computed so far.
+
+All mutation happens on the event-loop thread, so bare ints are safe.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+
+#: Upper bucket bounds in milliseconds (the last bucket is +inf).
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (cumulative, Prometheus-style)."""
+
+    def __init__(self, bounds: Tuple[float, ...] = LATENCY_BUCKETS_MS):
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, elapsed_ms: float) -> None:
+        self.total += 1
+        self.sum_ms += elapsed_ms
+        self.max_ms = max(self.max_ms, elapsed_ms)
+        for index, bound in enumerate(self.bounds):
+            if elapsed_ms <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        buckets = {
+            f"le_{bound:g}": sum(self.counts[: index + 1])
+            for index, bound in enumerate(self.bounds)
+        }
+        buckets["le_inf"] = self.total
+        return {
+            "buckets": buckets,
+            "count": self.total,
+            "sum_ms": round(self.sum_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class ServiceMetrics:
+    """All counters the ops surface exposes, in one mutable object."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.requests_total = 0
+        self.errors_total = 0
+        self.in_flight = 0
+        self.indexes_built = 0
+        self.by_route: Dict[str, Dict[str, int]] = {}
+        self.latency = LatencyHistogram()
+
+    def observe(self, route: str, status: int, elapsed_ms: float) -> None:
+        """Account one finished request."""
+        self.requests_total += 1
+        record = self.by_route.setdefault(route, {"count": 0, "errors": 0})
+        record["count"] += 1
+        if status >= 400:
+            record["errors"] += 1
+            self.errors_total += 1
+        self.latency.observe(elapsed_ms)
+
+    def snapshot(self, pool: Optional[Any] = None) -> Dict[str, Any]:
+        """The ``GET /metrics`` document."""
+        out: Dict[str, Any] = {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "requests": {
+                "total": self.requests_total,
+                "errors": self.errors_total,
+                "by_route": self.by_route,
+            },
+            "latency_ms": self.latency.as_dict(),
+            "in_flight": self.in_flight,
+            "indexes_built": self.indexes_built,
+        }
+        if pool is not None:
+            out["pool"] = pool.stats()
+        return out

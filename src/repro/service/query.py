@@ -1,0 +1,174 @@
+"""Per-scenario O(1) query indexes behind the service endpoints.
+
+A :class:`ScenarioView` is built **once** per admitted scenario (inside
+the pool's build executor, never on the event loop) and answers every
+point query with plain dict lookups:
+
+* ``adjacency`` — ASN → sorted visible neighbours (from the corpus);
+* ``rel_index(algorithm)`` — link key → (relationship, provider), one
+  dict per algorithm, materialised from
+  :meth:`repro.scenario.Scenario.infer` the first time the algorithm is
+  requested and kept forever after;
+* ``validation`` — link key → the cleaned validation record;
+* ``classes`` — link key → regional and topological class labels.
+
+Point-query latency is therefore O(1) per lookup: after a scenario (and
+an algorithm's index) is built, a thousand ``GET /v1/rel/...`` requests
+run zero inferences — the ``/metrics`` document proves it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.casestudy import CaseStudyResult
+from repro.scenario import ALGORITHM_NAMES, Scenario
+from repro.topology.graph import LinkKey, RelType, link_key
+
+#: Wire names of the relationship types.
+REL_NAMES: Dict[RelType, str] = {
+    RelType.P2C: "p2c",
+    RelType.P2P: "p2p",
+    RelType.S2S: "s2s",
+}
+
+
+class ScenarioView:
+    """Immutable-after-build query indexes over one :class:`Scenario`."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        corpus = scenario.corpus
+        #: The paper's "inferred links" universe (siblings excluded).
+        self.links: List[LinkKey] = scenario.inferred_links()
+        visible = corpus.visible_links()
+        self._visible = set(visible)
+
+        adjacency: Dict[int, List[int]] = {}
+        for a, b in visible:
+            adjacency.setdefault(a, []).append(b)
+            adjacency.setdefault(b, []).append(a)
+        self.adjacency: Dict[int, List[int]] = {
+            asn: sorted(neighbors) for asn, neighbors in adjacency.items()
+        }
+
+        self.validation: Dict[LinkKey, Tuple[RelType, Optional[int]]] = dict(
+            scenario.validation.rels
+        )
+
+        regional = scenario.regional_classifier()
+        topological = scenario.topological_classifier()
+        self.classes: Dict[LinkKey, Tuple[Optional[str], Optional[str]]] = {
+            key: (regional.classify(key), topological.classify(key))
+            for key in visible
+        }
+
+        self._rels: Dict[str, Dict[LinkKey, Tuple[RelType, Optional[int]]]] = {}
+
+    # ------------------------------------------------------------------
+    # index construction
+    # ------------------------------------------------------------------
+    def has_rel_index(self, algorithm: str) -> bool:
+        return algorithm in self._rels
+
+    def build_rel_index(
+        self, algorithm: str
+    ) -> Dict[LinkKey, Tuple[RelType, Optional[int]]]:
+        """Materialise (and memoise) one algorithm's link→rel dict.
+
+        Runs the inference when the scenario has not produced it yet, so
+        callers must dispatch this to an executor, not the event loop.
+        """
+        if algorithm not in ALGORITHM_NAMES:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        if algorithm not in self._rels:
+            rels = self.scenario.infer(algorithm)
+            index: Dict[LinkKey, Tuple[RelType, Optional[int]]] = {}
+            for key, rel, provider in rels.items():
+                index[key] = (rel, provider if rel is RelType.P2C else None)
+            self._rels[algorithm] = index
+        return self._rels[algorithm]
+
+    # ------------------------------------------------------------------
+    # point queries (all O(1))
+    # ------------------------------------------------------------------
+    def is_visible(self, key: LinkKey) -> bool:
+        return key in self._visible
+
+    def link_payload(
+        self, algorithm: str, a: int, b: int
+    ) -> Optional[Dict[str, Any]]:
+        """The JSON record for one link, ``None`` if never observed.
+
+        The algorithm's index must already be built (see
+        :meth:`build_rel_index`); this method only does dict lookups.
+        """
+        key = link_key(a, b)
+        if key not in self._visible:
+            return None
+        index = self._rels[algorithm]
+        entry = index.get(key)
+        validated = self.validation.get(key)
+        regional, topological = self.classes.get(key, (None, None))
+        return {
+            "as1": key[0],
+            "as2": key[1],
+            "algorithm": algorithm,
+            "relationship": REL_NAMES[entry[0]] if entry else None,
+            "provider": entry[1] if entry else None,
+            "validation": (
+                {
+                    "relationship": REL_NAMES[validated[0]],
+                    "provider": validated[1],
+                }
+                if validated
+                else None
+            ),
+            "classes": {"regional": regional, "topological": topological},
+            "visibility": self.scenario.corpus.link_visibility(key),
+        }
+
+    def neighbors_payload(self, asn: int) -> Optional[Dict[str, Any]]:
+        neighbors = self.adjacency.get(asn)
+        if neighbors is None:
+            return None
+        corpus = self.scenario.corpus
+        return {
+            "asn": asn,
+            "neighbors": neighbors,
+            "degree": len(neighbors),
+            "transit_degree": corpus.transit_degree(asn),
+        }
+
+    # ------------------------------------------------------------------
+    # summary payloads (cached per scenario by the app layer)
+    # ------------------------------------------------------------------
+    def scenario_payload(self, scenario_id: str) -> Dict[str, Any]:
+        scenario = self.scenario
+        return {
+            "scenario": scenario_id,
+            "seed": scenario.config.seed,
+            "n_ases": scenario.config.topology.n_ases,
+            "snapshot": scenario.config.snapshot,
+            "stats": {
+                **scenario.corpus.stats(),
+                "n_inferred_links": len(self.links),
+                "n_validated_links": len(scenario.validation),
+            },
+            "algorithms_indexed": sorted(self._rels),
+        }
+
+
+def casestudy_payload(result: CaseStudyResult) -> Dict[str, Any]:
+    """The §6.1 case-study summary as served by ``GET /v1/casestudy``."""
+    return {
+        "n_wrong_p2p": result.n_wrong,
+        "focus_member": result.focus_member,
+        "focus_share": round(result.focus_share, 6),
+        "n_targets": len(result.targets),
+        "n_partial_transit_confirmed": result.n_partial_transit_confirmed,
+        "n_stale_validation": result.n_stale_validation,
+        "n_clique_triplet_targets": sum(
+            1 for target in result.targets if target.has_clique_triplet
+        ),
+    }

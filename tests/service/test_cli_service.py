@@ -1,0 +1,144 @@
+"""CLI wiring for the service: ``python -m repro``, ``repro serve``,
+``repro cache list --json``, and the shared worker-count helper."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.datasets.asrel import RelationshipSet
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.parallel import resolve_workers
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def subprocess_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+# ---------------------------------------------------------------------------
+# python -m repro
+# ---------------------------------------------------------------------------
+
+def test_python_dash_m_repro_works():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        env=subprocess_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "serve" in result.stdout
+    assert "cache" in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# repro cache list --json
+# ---------------------------------------------------------------------------
+
+def test_cache_list_json_empty(tmp_path, capsys):
+    rc = cli.main(["cache", "list", "--json", "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {
+        "root": str(tmp_path),
+        "total_size_bytes": 0,
+        "entries": [],
+    }
+
+
+def test_cache_list_json_enumerates_entries(tmp_path, capsys):
+    from repro.config import ScenarioConfig
+
+    cache = ArtifactCache(root=tmp_path)
+    config = ScenarioConfig.small(seed=7)
+    rels = RelationshipSet()
+    rels.set_p2c(10, 20)
+    rels.set_p2p(10, 30)
+    key = cache.scenario_key(config)
+    cache.store_rels(key, "asrank", rels, config)
+
+    rc = cli.main(["cache", "list", "--json", "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["root"] == str(tmp_path)
+    assert payload["total_size_bytes"] > 0
+    (entry,) = payload["entries"]
+    assert entry["key"] == key
+    assert entry["seed"] == 7
+    assert entry["n_ases"] == 320
+    assert "rels-asrank.asrel" in entry["files"]
+
+
+def test_cache_path_json(tmp_path, capsys):
+    rc = cli.main(["cache", "path", "--json", "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out) == {"root": str(tmp_path)}
+
+
+# ---------------------------------------------------------------------------
+# shared worker-count normalisation
+# ---------------------------------------------------------------------------
+
+def test_resolve_workers_contract():
+    assert resolve_workers(0) == 0            # serial
+    assert resolve_workers(3) == 3            # literal
+    assert resolve_workers(-1) >= 1           # CPU count
+    assert resolve_workers(None) == resolve_workers(-1)
+
+
+def test_serve_parser_defaults():
+    parser = cli.make_parser()
+    args = parser.parse_args(["serve", "--port", "0", "--workers", "-1"])
+    assert args.func is cli.cmd_serve
+    assert args.host == "127.0.0.1"
+    assert args.pool_size == 4
+    assert args.workers == -1
+    # cmd_serve hands the raw value to the one shared helper.
+    assert resolve_workers(args.workers) >= 1
+
+
+# ---------------------------------------------------------------------------
+# repro serve subprocess smoke (mirrors the CI step)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+def test_serve_subprocess_smoke():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--pool-size", "1"],
+        env=subprocess_env(),
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        match = re.search(r"listening on http://[^:]+:(\d+)$", line)
+        assert match, f"unexpected banner: {line!r}"
+        port = int(match.group(1))
+
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=port, timeout=120) as client:
+            assert client.healthz()["status"] == "ok"
+            built = client.build_scenario(preset="small", seed=7)
+            as1, as2 = built["sample_links"][0]
+            record = client.rel("asrank", as1, as2)
+            assert record["relationship"] in {"p2p", "p2c", "s2s", None}
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0

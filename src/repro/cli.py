@@ -10,6 +10,7 @@ Exposes the reproduction pipeline without writing Python::
     repro evolve --months 6              # §7 re-sampling experiment
     repro cache list [--json]            # inspect the artifact cache
     repro serve --port 8787              # HTTP query service (repro.service)
+    repro lint [--format json]           # AST contract linter (repro.devtools)
 
 Every command accepts ``--ases``, ``--vps``, ``--seed`` and
 ``--churn-rounds`` to size the synthetic Internet (defaults are scaled
@@ -244,6 +245,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.app import ReproService
 
@@ -316,6 +323,16 @@ def make_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--json", action="store_true", default=False,
                          help="machine-readable output (list/path)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the AST contract linter (determinism, async-safety, "
+             "picklability)",
+    )
+    from repro.devtools.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_serve = sub.add_parser(
         "serve",

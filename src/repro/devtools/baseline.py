@@ -1,0 +1,128 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline lets the lint gate turn on while known debt still exists:
+``repro lint --write-baseline`` records the current findings, the file
+is committed, and from then on only *new* findings fail the build.
+
+Format — a JSON document designed to diff cleanly and write
+byte-identically on every run (no timestamps, no absolute paths,
+entries sorted)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "DET002", "path": "src/repro/x.py",
+         "message": "...", "count": 1},
+        ...
+      ]
+    }
+
+Matching is by ``(rule, path, message)`` with multiplicity: line
+numbers are excluded on purpose so unrelated edits that shift a
+grandfathered finding do not un-baseline it, while a *second* identical
+finding in the same file still fails.  Entries that no longer match
+anything are reported back as stale so the baseline shrinks over time
+instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.devtools.findings import Finding, sorted_findings
+
+#: Default baseline filename, looked up relative to the lint root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """Multiset of grandfathered findings keyed by (rule, path, message)."""
+
+    def __init__(self, counts: Union[Dict[_Key, int], None] = None):
+        self.counts: Counter = Counter(counts or {})
+
+    # ------------------------------------------------------------------
+    # construction / io
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.counts[finding.baseline_key()] += 1
+        return baseline
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if document.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{document.get('version')!r}"
+            )
+        baseline = cls()
+        for entry in document.get("entries", []):
+            key = (entry["rule"], entry["path"], entry["message"])
+            baseline.counts[key] += int(entry.get("count", 1))
+        return baseline
+
+    def dump(self, path: Union[str, Path]) -> None:
+        """Write the canonical byte-stable serialisation."""
+        Path(path).write_text(self.render() + "\n", encoding="utf-8")
+
+    def render(self) -> str:
+        entries = [
+            {
+                "rule": rule,
+                "path": rel_path,
+                "message": message,
+                "count": count,
+            }
+            for (rule, rel_path, message), count in sorted(self.counts.items())
+        ]
+        return json.dumps(
+            {"version": BASELINE_VERSION, "entries": entries},
+            indent=2,
+            sort_keys=True,
+        )
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+        """Partition findings into (new, baselined) plus stale entries.
+
+        Multiplicity-aware: a baseline entry with ``count: 1`` absorbs
+        one matching finding; a second identical finding is new.
+        """
+        remaining = Counter(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in sorted_findings(findings):
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            {"rule": rule, "path": rel_path, "message": message,
+             "count": count}
+            for (rule, rel_path, message), count in sorted(remaining.items())
+            if count > 0
+        ]
+        return new, baselined, stale
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,275 @@
+"""The lint engine: file discovery, single-pass dispatch, accounting.
+
+One :func:`run_lint` call is the whole pipeline::
+
+    discover files -> parse -> annotate parents -> walk once,
+    dispatching nodes to interested rules -> apply noqa suppressions
+    (tracking use) -> report unused suppressions -> partition against
+    the baseline -> LintResult
+
+The engine itself obeys the contracts it enforces: no wall-clock, no
+unsorted iteration anywhere near output, and a result that is a pure
+function of the file tree + configuration.  Findings come out in one
+canonical order (path, line, col, rule id) so text reports, JSON
+reports and baselines are byte-stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.findings import Finding, sorted_findings
+from repro.devtools.registry import Rule, all_rules, resolve_rule_ids
+from repro.devtools.suppressions import (
+    UNUSED_SUPPRESSION_ID,
+    SuppressionIndex,
+)
+
+#: Rule id attached to files the parser rejects.
+SYNTAX_ERROR_ID = "SYN001"
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".repro-cache", "node_modules"}
+
+
+@dataclass
+class LintConfig:
+    """Everything that parameterises a lint run.
+
+    The rule-scoping knobs exist so the test suite can point rules at
+    fixture trees; their defaults encode this repository's contracts.
+    """
+
+    #: Run only these rule ids (default: every registered rule).
+    select: Optional[Sequence[str]] = None
+    #: Rule ids to skip.
+    ignore: Optional[Sequence[str]] = None
+    #: Files (relpath suffixes) allowed to use raw RNG primitives.
+    det001_exempt: Tuple[str, ...] = ("repro/utils/rng.py",)
+    #: Substrings of a function name that mark it as cache-key /
+    #: fingerprint construction for DET003.
+    det003_contexts: Tuple[str, ...] = ("key", "fingerprint", "digest")
+    #: Import roots considered first-party for DEP001.
+    first_party: Tuple[str, ...] = ("repro",)
+    #: Third-party import roots the project declares (DEP001).
+    allowed_imports: Tuple[str, ...] = ("numpy",)
+    #: Extra allowed import roots (CLI ``--dep-allow``).
+    extra_allowed_imports: Tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleContext:
+    """Per-file state shared by every rule during one walk."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    findings: List[Finding] = field(default_factory=list)
+
+    def report(self, rule: Union[Rule, str], node: ast.AST,
+               message: str) -> None:
+        rule_id = rule if isinstance(rule, str) else rule.id
+        self.findings.append(Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+        ))
+
+    def relpath_matches(self, suffixes: Iterable[str]) -> bool:
+        return any(self.relpath.endswith(suffix) for suffix in suffixes)
+
+
+class Walker(ast.NodeVisitor):
+    """Single tree walk with typed dispatch and a lexical scope stack."""
+
+    _SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                    ast.ClassDef)
+
+    def __init__(self, rules: Sequence[Rule], ctx: ModuleContext):
+        self.ctx = ctx
+        self.scope_stack: List[ast.AST] = []
+        self._dispatch: Dict[type, List[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.interests:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    # -- scope queries used by rules -----------------------------------
+    def current_function(self) -> Optional[ast.AST]:
+        """The innermost enclosing function/lambda scope, if any."""
+        for scope in reversed(self.scope_stack):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                return scope
+        return None
+
+    def in_async_function(self) -> bool:
+        return isinstance(self.current_function(), ast.AsyncFunctionDef)
+
+    def enclosing_function_names(self) -> List[str]:
+        """Names of every enclosing def, innermost last."""
+        return [
+            scope.name
+            for scope in self.scope_stack
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    # -- the walk ------------------------------------------------------
+    def visit(self, node: ast.AST) -> None:
+        for rule in self._dispatch.get(type(node), ()):
+            rule.visit(node, self.ctx, self)
+        if isinstance(node, self._SCOPE_TYPES):
+            self.scope_stack.append(node)
+            self.generic_visit(node)
+            self.scope_stack.pop()
+        else:
+            self.generic_visit(node)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` call (already baseline-split)."""
+
+    findings: List[Finding]
+    baselined: List[Finding]
+    suppressed: int
+    stale_baseline: List[Dict[str, object]]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """The python files under ``paths``, sorted, skipping caches."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            files.append(candidate)
+    # De-duplicate while keeping the sorted-per-argument order stable.
+    seen = set()
+    unique: List[Path] = []
+    for path in files:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def _relpath(path: Path) -> str:
+    """Posix-style path relative to the CWD when possible.
+
+    Baselines and reports must not embed absolute paths (they would
+    differ between machines), so anything under the working directory
+    is relativised.
+    """
+    resolved = path.resolve()
+    try:
+        rel = resolved.relative_to(Path.cwd())
+    except ValueError:
+        rel = resolved
+    return rel.as_posix()
+
+
+def _annotate_parents(tree: ast.Module) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._lint_parent = parent  # type: ignore[attr-defined]
+
+
+def lint_file(path: Path, config: LintConfig,
+              rule_ids: Sequence[str]) -> Tuple[List[Finding], int]:
+    """Lint one file.
+
+    Returns ``(findings, n_suppressed)``: the findings that survive
+    noqa suppression (plus one ``SUP001`` per unused marker) and the
+    number of findings the file's markers absorbed.
+    """
+    relpath = _relpath(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1),
+            rule_id=SYNTAX_ERROR_ID,
+            message=f"file does not parse: {exc.msg}",
+        )], 0
+    _annotate_parents(tree)
+
+    registry = all_rules()
+    rules = [registry[rule_id]() for rule_id in rule_ids]
+    ctx = ModuleContext(path=path, relpath=relpath, source=source,
+                        tree=tree, config=config)
+    for rule in rules:
+        rule.begin_module(ctx)
+    Walker(rules, ctx).visit(tree)
+    for rule in rules:
+        rule.end_module(ctx)
+
+    suppressions = SuppressionIndex.from_source(source)
+    kept = []
+    n_suppressed = 0
+    for finding in ctx.findings:
+        if suppressions.suppresses(finding.line, finding.rule_id):
+            n_suppressed += 1
+        else:
+            kept.append(finding)
+    for marker in suppressions.unused(rule_ids):
+        kept.append(Finding(
+            path=relpath,
+            line=marker.line,
+            col=marker.col,
+            rule_id=UNUSED_SUPPRESSION_ID,
+            message=f"suppression {marker.describe()} matches no finding",
+        ))
+    return kept, n_suppressed
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint ``paths`` and partition the findings against ``baseline``."""
+    config = config or LintConfig()
+    rule_ids = resolve_rule_ids(config.select, config.ignore)
+    files = discover_files(paths)
+
+    raw: List[Finding] = []
+    suppressed_total = 0
+    for path in files:
+        kept, n_suppressed = lint_file(path, config, rule_ids)
+        suppressed_total += n_suppressed
+        raw.extend(kept)
+
+    ordered = sorted_findings(raw)
+    baseline = baseline or Baseline()
+    new, baselined, stale = baseline.split(ordered)
+    return LintResult(
+        findings=new,
+        baselined=baselined,
+        suppressed=suppressed_total,
+        stale_baseline=stale,
+        files_checked=len(files),
+    )

@@ -1,0 +1,56 @@
+"""The lint finding record and its canonical ordering.
+
+A :class:`Finding` is one rule violation at one source location.  The
+whole devtools layer — reporters, baseline, suppression accounting —
+operates on sorted tuples of findings, so the canonical sort key lives
+here next to the dataclass.  Everything is a plain value type: findings
+must serialise to JSON and compare bitwise-equal across runs, platforms
+and process boundaries (the determinism contract applies to the linter
+itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line:col``.
+
+    Field order doubles as the sort key: findings group by file, then
+    read top to bottom, then break ties on column and rule id.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """The drift-resistant identity used for baseline matching.
+
+        Line and column are deliberately excluded: a grandfathered
+        finding must keep matching its baseline entry when unrelated
+        edits shift it a few lines.
+        """
+        return (self.rule_id, self.path, self.message)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def sorted_findings(findings) -> "list[Finding]":
+    """The one canonical ordering every consumer sees."""
+    return sorted(findings)

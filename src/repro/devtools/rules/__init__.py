@@ -1,0 +1,31 @@
+"""The built-in ruleset.
+
+Importing this package registers every rule (the modules register
+their classes at import time via
+:func:`repro.devtools.registry.register`).  Rule ids:
+
+========== ==========================================================
+DET001     unseeded or global random source
+DET002     unordered iteration reaches an order-sensitive sink
+DET003     wall-clock or entropy value in key/fingerprint construction
+ASYNC001   blocking call inside a coroutine
+ASYNC002   asyncio task created and immediately dropped
+PICKLE001  non-picklable callable submitted to a process pool
+DEP001     import outside the declared dependency set
+API001     ``__all__`` out of sync with the module namespace
+========== ==========================================================
+
+Plus two engine-level ids that are not rules: ``SYN001`` (file does
+not parse) and ``SUP001`` (unused ``# repro: noqa`` marker).
+"""
+
+from repro.devtools.rules import api as _api
+from repro.devtools.rules import asyncsafety as _asyncsafety
+from repro.devtools.rules import determinism as _determinism
+from repro.devtools.rules import imports as _imports
+from repro.devtools.rules import pickling as _pickling
+
+# Imported purely for their registration side effect.
+_RULE_MODULES = (_determinism, _asyncsafety, _pickling, _imports, _api)
+
+__all__ = []

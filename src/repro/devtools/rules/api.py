@@ -1,0 +1,111 @@
+"""Public-API rule: API001.
+
+``__all__`` is the contract between a package and ``from pkg import
+*`` / documentation tooling.  A name listed there that the module does
+not actually bind raises ``AttributeError`` only at star-import time —
+i.e. in someone else's code, much later.  This rule checks the list
+against the module's actual top-level bindings, plus duplicates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.devtools.registry import Rule, const_strings, register
+
+
+def _bound_names(tree: ast.Module) -> tuple:
+    """(names bound at module level, saw_star_import).
+
+    Descends into module-level ``if``/``try`` blocks (the
+    ``TYPE_CHECKING`` and optional-import idioms) but not into
+    functions or classes — those bindings are not module attributes.
+    """
+    names: Set[str] = set()
+    star = False
+
+    def collect(statements) -> None:
+        nonlocal star
+        for statement in statements:
+            if isinstance(statement,
+                          (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+                names.add(statement.name)
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    _collect_target(target)
+            elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+                _collect_target(statement.target)
+            elif isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(statement, ast.ImportFrom):
+                for alias in statement.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(statement, ast.If):
+                collect(statement.body)
+                collect(statement.orelse)
+            elif isinstance(statement, ast.Try):
+                collect(statement.body)
+                for handler in statement.handlers:
+                    collect(handler.body)
+                collect(statement.orelse)
+                collect(statement.finalbody)
+            elif isinstance(statement, (ast.For, ast.While, ast.With)):
+                collect(statement.body)
+                if hasattr(statement, "orelse"):
+                    collect(statement.orelse)
+
+    def _collect_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                _collect_target(element)
+
+    collect(tree.body)
+    return names, star
+
+
+@register
+class DunderAllConsistencyRule(Rule):
+    """API001 — every ``__all__`` entry must be a real module binding."""
+
+    id = "API001"
+    name = "__all__ out of sync with the module namespace"
+    rationale = (
+        "A phantom `__all__` entry raises AttributeError at "
+        "star-import time and lies to documentation generators; a "
+        "duplicate entry hides real drift.  `__all__` must list "
+        "exactly names the module binds at top level, each once."
+    )
+    interests = (ast.Assign,)
+
+    def visit(self, node: ast.AST, ctx, walker) -> None:
+        if walker.scope_stack:
+            return  # only module-level __all__ is the public contract
+        targets = [t for t in node.targets
+                   if isinstance(t, ast.Name) and t.id == "__all__"]
+        if not targets:
+            return
+        entries = const_strings(node.value)
+        if entries is None:
+            return  # computed __all__: out of static reach, skip
+        bound, star = _bound_names(ctx.tree)
+        seen: List[str] = []
+        for value, lineno in entries:
+            marker = ast.Constant(value=value)
+            marker.lineno = lineno
+            marker.col_offset = 0
+            if value in seen:
+                ctx.report(self, marker,
+                           f"duplicate __all__ entry {value!r}")
+            seen.append(value)
+            if not star and value not in bound:
+                ctx.report(self, marker,
+                           f"__all__ lists {value!r} but the module "
+                           "never binds it")

@@ -1,0 +1,113 @@
+"""Async-safety rules: ASYNC001, ASYNC002.
+
+The query service promises a never-blocked event loop: ``/healthz``
+answers while a paper-scale scenario builds.  That only holds if no
+coroutine ever performs blocking work inline and no task is left to be
+garbage-collected mid-flight.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.registry import (
+    Rule,
+    attr_name,
+    call_name,
+    parent_of,
+    register,
+)
+
+#: Dotted call names that block the calling thread.
+_BLOCKING_NAMES = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_output",
+    "subprocess.check_call", "subprocess.Popen",
+    "os.system", "os.waitpid",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "open", "input",
+    "ServiceClient",
+})
+
+#: ``obj.<attr>(...)`` calls that block (sync file I/O, future joins).
+_BLOCKING_ATTRS = frozenset({
+    "result",                       # concurrent.futures / threadsafe joins
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "sleep_until",
+})
+
+#: Attribute calls that are fine despite matching nothing else —
+#: asyncio's own scheduling APIs a coroutine is supposed to use.
+_ASYNC_OK_SUFFIXES = ("run_in_executor",)
+
+
+@register
+class BlockingCallInCoroutineRule(Rule):
+    """ASYNC001 — no blocking calls inside ``async def`` bodies."""
+
+    id = "ASYNC001"
+    name = "blocking call inside a coroutine"
+    rationale = (
+        "A coroutine runs on the event loop's only thread: one "
+        "`time.sleep`, `subprocess.run`, sync file read, blocking "
+        "`Future.result()` or blocking-client call freezes every "
+        "in-flight request (and `/healthz`) until it returns.  Move "
+        "the work behind `loop.run_in_executor(...)` or use the "
+        "asyncio-native equivalent."
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx, walker) -> None:
+        if not walker.in_async_function():
+            return
+        name = call_name(node)
+        if name is not None and any(
+            name.endswith(suffix) for suffix in _ASYNC_OK_SUFFIXES
+        ):
+            return
+        blocking = False
+        label = name
+        if name is not None and (
+            name in _BLOCKING_NAMES
+            or any(name.endswith("." + banned)
+                   for banned in _BLOCKING_NAMES if "." in banned)
+        ):
+            blocking = True
+        else:
+            attribute = attr_name(node)
+            if attribute in _BLOCKING_ATTRS:
+                blocking = True
+                label = name or f"<expr>.{attribute}"
+        if blocking:
+            ctx.report(self, node,
+                       f"blocking call `{label}(...)` inside an async "
+                       "def; dispatch it via run_in_executor or an "
+                       "asyncio-native API")
+
+
+@register
+class FireAndForgetTaskRule(Rule):
+    """ASYNC002 — every created task must be retained."""
+
+    id = "ASYNC002"
+    name = "asyncio task created and immediately dropped"
+    rationale = (
+        "The event loop keeps only a weak reference to tasks: a "
+        "`create_task(...)` whose result is not stored, awaited or "
+        "registered can be garbage-collected mid-execution, silently "
+        "cancelling the work.  Assign the task, await it, or add it to "
+        "a collection with a done-callback that discards it."
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx, walker) -> None:
+        target = attr_name(node) or call_name(node)
+        if target not in {"create_task", "ensure_future"}:
+            return
+        parent = parent_of(node)
+        if isinstance(parent, ast.Expr):
+            ctx.report(self, node,
+                       "task created and dropped (fire-and-forget); "
+                       "the loop holds only a weak reference — retain "
+                       "the task object")

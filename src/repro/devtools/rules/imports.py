@@ -1,0 +1,67 @@
+"""Dependency rule: DEP001.
+
+The project's declared runtime dependency set is the standard library
+plus numpy (see ``pyproject.toml``).  An import of anything else in
+``src/repro`` would make the package uninstallable exactly as
+declared — this rule catches it at lint time instead of at a user's
+``import repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+
+from repro.devtools.registry import Rule, register
+
+
+def _stdlib_names() -> frozenset:
+    # Python 3.10+; the CI floor (3.10) and the dev container (3.11)
+    # both have it.  The fallback keeps older interpreters from
+    # drowning in false positives instead of hard-failing.
+    names = getattr(sys, "stdlib_module_names", None)
+    if names is None:  # pragma: no cover - pre-3.10 interpreters only
+        return frozenset(sys.builtin_module_names) | {"__future__"}
+    return frozenset(names)
+
+
+_STDLIB = _stdlib_names()
+
+
+@register
+class UndeclaredDependencyRule(Rule):
+    """DEP001 — imports must stay inside the declared dependency set."""
+
+    id = "DEP001"
+    name = "import outside the declared dependency set"
+    rationale = (
+        "The library declares exactly one third-party dependency "
+        "(numpy).  Any other top-level import — even inside a rarely "
+        "taken branch — breaks a clean install at runtime.  Gate "
+        "optional integrations behind a declared extra or vendor the "
+        "logic."
+    )
+    interests = (ast.Import, ast.ImportFrom)
+
+    def _allowed(self, ctx) -> frozenset:
+        config = ctx.config
+        return (_STDLIB
+                | frozenset(config.first_party)
+                | frozenset(config.allowed_imports)
+                | frozenset(config.extra_allowed_imports))
+
+    def visit(self, node: ast.AST, ctx, walker) -> None:
+        allowed = self._allowed(ctx)
+        if isinstance(node, ast.Import):
+            roots = [alias.name.split(".")[0] for alias in node.names]
+        else:  # ImportFrom
+            if node.level > 0 or node.module is None:
+                return  # relative imports are first-party by definition
+            roots = [node.module.split(".")[0]]
+        for root in roots:
+            if root not in allowed:
+                ctx.report(self, node,
+                           f"import of `{root}` is outside the declared "
+                           "dependency set (stdlib + "
+                           f"{', '.join(sorted(ctx.config.allowed_imports))}"
+                           ")")

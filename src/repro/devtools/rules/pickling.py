@@ -1,0 +1,113 @@
+"""Picklability rule: PICKLE001.
+
+Process-pool workers receive their callables by pickling, and pickle
+resolves functions by qualified name — lambdas and nested functions
+fail at submission time under the ``spawn`` start method (the default
+on macOS/Windows) even when they happen to work under ``fork``.  The
+repo's own worker functions live at module level for exactly this
+reason (see :mod:`repro.pipeline.parallel`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.devtools.registry import Rule, attr_name, call_name, register
+
+
+def _process_pool_names(tree: ast.Module) -> Set[str]:
+    """Names bound to a ``ProcessPoolExecutor(...)`` in this module."""
+    names: Set[str] = set()
+
+    def creates_pool(value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        callee = call_name(value)
+        return callee is not None and (
+            callee == "ProcessPoolExecutor"
+            or callee.endswith(".ProcessPoolExecutor")
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and creates_pool(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.withitem) and creates_pool(
+            node.context_expr
+        ):
+            if isinstance(node.optional_vars, ast.Name):
+                names.add(node.optional_vars.id)
+    return names
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function."""
+    nested: Set[str] = set()
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                walk(child, True)
+            elif isinstance(child, ast.ClassDef):
+                # Methods are attribute-accessed, never bare names.
+                walk(child, inside_function)
+            else:
+                walk(child, inside_function)
+
+    walk(tree, False)
+    return nested
+
+
+@register
+class NonPicklableSubmissionRule(Rule):
+    """PICKLE001 — only module-level callables cross the pool boundary."""
+
+    id = "PICKLE001"
+    name = "non-picklable callable submitted to a process pool"
+    rationale = (
+        "ProcessPoolExecutor pickles the submitted callable; pickle "
+        "serialises functions by qualified name, so lambdas and "
+        "closures raise `PicklingError` at submit time under the "
+        "spawn start method.  Define worker functions at module level "
+        "and pass state through arguments or a pool initializer."
+    )
+    interests = (ast.Call,)
+
+    def begin_module(self, ctx) -> None:
+        self._pools = _process_pool_names(ctx.tree)
+        self._nested = _nested_function_names(ctx.tree)
+
+    def visit(self, node: ast.AST, ctx, walker) -> None:
+        attribute = attr_name(node)
+        if attribute not in {"submit", "map"}:
+            return
+        receiver = node.func.value  # the `pool` in pool.submit(...)
+        is_pool = (
+            (isinstance(receiver, ast.Name) and receiver.id in self._pools)
+            or (isinstance(receiver, ast.Call)
+                and (call_name(receiver) or "").endswith(
+                    "ProcessPoolExecutor"))
+        )
+        if not is_pool:
+            return
+        candidates = list(node.args[:1])
+        candidates.extend(
+            kw.value for kw in node.keywords
+            if kw.arg in {"fn", "func", "initializer"}
+        )
+        for candidate in candidates:
+            if isinstance(candidate, ast.Lambda):
+                ctx.report(self, candidate,
+                           f"lambda passed to process-pool `{attribute}`"
+                           "; lambdas cannot be pickled — use a "
+                           "module-level function")
+            elif (isinstance(candidate, ast.Name)
+                  and candidate.id in self._nested):
+                ctx.report(self, candidate,
+                           f"nested function `{candidate.id}` passed to "
+                           f"process-pool `{attribute}`; closures cannot "
+                           "be pickled — move it to module level")

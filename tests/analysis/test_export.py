@@ -62,3 +62,35 @@ class TestWriteBundle:
         )
         header = (directory / "table_asrank.csv").read_text().splitlines()[0]
         assert header.startswith("class,ppv_p2p,tpr_p2p")
+
+
+class TestByteStability:
+    """The DET002 contract, locked end to end: two independent builds
+    of the same config must serialise to byte-identical artifacts.
+
+    This is the golden property behind the `repro lint` DET002 rule —
+    no set/dict-view iteration order may leak into bundle files or the
+    shapes the query service shares with them (profile_rows /
+    metrics_row / table_dict all feed both)."""
+
+    def test_bundle_files_byte_identical_across_builds(self, tmp_path):
+        from repro import small_scenario
+
+        first_dir = tmp_path / "first"
+        second_dir = tmp_path / "second"
+        write_results_bundle(small_scenario(seed=11), first_dir,
+                             algorithms=("asrank",))
+        write_results_bundle(small_scenario(seed=11), second_dir,
+                             algorithms=("asrank",))
+        names = sorted(p.name for p in first_dir.iterdir())
+        assert names == sorted(p.name for p in second_dir.iterdir())
+        for name in names:
+            assert (first_dir / name).read_bytes() == \
+                (second_dir / name).read_bytes(), name
+
+    def test_bundle_json_stable_under_repeated_dump(self, bundle):
+        first = json.dumps(bundle, indent=2, sort_keys=True)
+        second = json.dumps(
+            json.loads(first), indent=2, sort_keys=True
+        )
+        assert first == second

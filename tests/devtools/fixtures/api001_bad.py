@@ -1,0 +1,8 @@
+"""API001 fixture: __all__ drifted from the module namespace."""
+
+
+def real():
+    return 1
+
+
+__all__ = ["real", "phantom", "real"]  # phantom unbound, real duplicated

@@ -1,0 +1,16 @@
+"""API001 negative fixture: __all__ matches the namespace exactly."""
+from json import dumps
+
+try:
+    from json import JSONDecodeError
+except ImportError:  # pragma: no cover - demonstrates Try handling
+    JSONDecodeError = ValueError
+
+
+class Widget:
+    pass
+
+
+VALUE = 3
+
+__all__ = ["JSONDecodeError", "VALUE", "Widget", "dumps"]

@@ -1,0 +1,10 @@
+"""ASYNC001 fixture: blocking work inline in coroutine bodies."""
+import time
+from pathlib import Path
+
+
+async def handler(executor, path):
+    time.sleep(0.1)                    # finding: sleeps the event loop
+    data = Path(path).read_text()      # finding: sync file I/O
+    future = executor.submit(len, data)
+    return future.result()             # finding: blocking future join

@@ -1,0 +1,17 @@
+"""ASYNC001 negative fixture: blocking work behind the executor."""
+import asyncio
+import time
+from pathlib import Path
+
+
+def blocking_read(path):
+    # Sync in a plain function is fine — it runs on an executor thread.
+    time.sleep(0.0)
+    return Path(path).read_text()
+
+
+async def handler(path):
+    loop = asyncio.get_running_loop()
+    data = await loop.run_in_executor(None, blocking_read, path)
+    await asyncio.sleep(0)
+    return data

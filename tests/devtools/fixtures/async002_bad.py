@@ -1,0 +1,7 @@
+"""ASYNC002 fixture: fire-and-forget task creation."""
+import asyncio
+
+
+async def kick(work):
+    asyncio.create_task(work())        # finding: task dropped on the floor
+    await asyncio.sleep(0)

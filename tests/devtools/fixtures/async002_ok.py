@@ -1,0 +1,9 @@
+"""ASYNC002 negative fixture: every created task is retained."""
+import asyncio
+
+
+async def kick(work):
+    task = asyncio.create_task(work())
+    background = {asyncio.create_task(work())}
+    await task
+    return background

@@ -1,0 +1,7 @@
+"""DEP001 fixture: imports the project never declared."""
+import requests                    # finding: undeclared third party
+from flask import Flask            # finding: undeclared third party
+
+
+def fetch(url):
+    return requests.get(url), Flask

@@ -1,0 +1,9 @@
+"""DEP001 negative fixture: stdlib + numpy + first-party only."""
+import json
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def roll(seed):
+    return json.dumps({"value": float(np.float64(seed))}), make_rng(seed)

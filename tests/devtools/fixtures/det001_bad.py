@@ -1,0 +1,10 @@
+"""DET001 fixture: every way to smuggle in unseeded randomness."""
+import random                      # finding: stdlib random import
+from random import choice          # finding: stdlib random import-from
+import numpy as np
+
+
+def pick(items):
+    np.random.seed(0)              # finding: legacy global RNG
+    rng = np.random.default_rng()  # finding: unseeded default_rng
+    return choice(items), rng, random.random()

@@ -1,0 +1,8 @@
+"""DET001 negative fixture: explicitly seeded generator plumbing."""
+import numpy as np
+
+
+def pick(seed):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    rng2 = np.random.default_rng(seed)
+    return rng, rng2

@@ -1,0 +1,9 @@
+"""DET002 fixture: unordered iterables reaching ordered sinks."""
+import json
+
+
+def emit(values, mapping):
+    a = json.dumps(set(values))                  # finding: set -> dumps
+    b = ",".join(str(v) for v in {1, 2, 3})      # finding: set literal -> join
+    c = json.dumps(list(mapping.keys()))         # finding: keys via list()
+    return a, b, c

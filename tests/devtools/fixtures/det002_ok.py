@@ -1,0 +1,10 @@
+"""DET002 negative fixture: sorted() at every ordering boundary."""
+import json
+
+
+def emit(values, mapping):
+    a = json.dumps(sorted(set(values)))
+    b = ",".join(str(v) for v in sorted({1, 2, 3}))
+    c = json.dumps(list(sorted(mapping.keys())))
+    d = json.dumps(list(values))  # a list is already ordered
+    return a, b, c, d

@@ -1,0 +1,12 @@
+"""DET003 fixture: wall clock and entropy inside key construction."""
+import os
+import time
+import uuid
+
+
+def cache_key(config):
+    return f"{config}-{time.time()}-{uuid.uuid4()}"  # two findings
+
+
+def content_fingerprint(blob):
+    return os.urandom(8).hex() + blob                # finding: entropy

@@ -1,0 +1,12 @@
+"""DET003 negative fixture: content-derived keys, clocks elsewhere."""
+import hashlib
+import time
+
+
+def cache_key(config):
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
+
+def elapsed_since(start):
+    # Wall clock outside any key/fingerprint context is fine.
+    return time.time() - start

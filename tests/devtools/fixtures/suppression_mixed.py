@@ -1,0 +1,10 @@
+"""Suppression fixture: one earning marker, one stale marker."""
+import json
+
+
+def emit(values):
+    return json.dumps(set(values))  # repro: noqa[DET002]
+
+
+def clean(values):
+    return sorted(values)  # repro: noqa[DET002]

@@ -1,0 +1,75 @@
+"""Baseline round-trip, multiplicity, staleness, byte-stable writes."""
+
+from pathlib import Path
+
+from repro.devtools import Baseline, LintConfig, run_lint
+from repro.devtools.findings import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _finding(rule="DET002", path="pkg/mod.py", line=3, message="boom"):
+    return Finding(path=path, line=line, col=1, rule_id=rule,
+                   message=message)
+
+
+def test_round_trip_through_disk(tmp_path):
+    baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+    target = tmp_path / "lint-baseline.json"
+    baseline.dump(target)
+    loaded = Baseline.load(target)
+    assert loaded.counts == baseline.counts
+    assert len(loaded) == 2
+
+
+def test_dump_is_byte_stable(tmp_path):
+    baseline = Baseline.from_findings(
+        [_finding(), _finding(rule="DET001"), _finding(path="a.py")]
+    )
+    first = tmp_path / "one.json"
+    second = tmp_path / "two.json"
+    baseline.dump(first)
+    Baseline.load(first).dump(second)
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_split_matches_without_line_numbers():
+    baseline = Baseline.from_findings([_finding(line=3)])
+    # Same finding after an edit moved it: still baselined.
+    new, baselined, stale = baseline.split([_finding(line=40)])
+    assert new == []
+    assert len(baselined) == 1
+    assert stale == []
+
+
+def test_split_is_multiplicity_aware():
+    baseline = Baseline.from_findings([_finding()])
+    duplicated = [_finding(line=3), _finding(line=30)]
+    new, baselined, stale = baseline.split(duplicated)
+    assert len(baselined) == 1
+    assert len(new) == 1  # the second identical finding is NOT grandfathered
+
+
+def test_stale_entries_are_reported():
+    baseline = Baseline.from_findings([_finding(), _finding(rule="DET001")])
+    new, baselined, stale = baseline.split([_finding()])
+    assert new == []
+    assert len(baselined) == 1
+    assert [entry["rule"] for entry in stale] == ["DET001"]
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "does-not-exist.json")
+    assert len(baseline) == 0
+
+
+def test_baselined_fixture_run_reports_clean():
+    config = LintConfig(select=["DET002"])
+    bad = FIXTURES / "det002_bad.py"
+    first = run_lint([bad], config)
+    assert len(first.findings) == 3
+    baseline = Baseline.from_findings(first.findings)
+    second = run_lint([bad], config, baseline=baseline)
+    assert second.ok
+    assert len(second.baselined) == 3
+    assert second.stale_baseline == []

@@ -1,0 +1,78 @@
+"""noqa parsing, suppression accounting, unused-marker detection."""
+
+from pathlib import Path
+
+from repro.devtools import LintConfig, run_lint
+from repro.devtools.suppressions import (
+    UNUSED_SUPPRESSION_ID,
+    SuppressionIndex,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_bare_noqa_suppresses_everything():
+    index = SuppressionIndex.from_source("x = 1  # repro: noqa\n")
+    assert index.suppresses(1, "DET001")
+    assert index.suppresses(1, "ASYNC002")
+    assert index.unused() == []
+
+
+def test_scoped_noqa_suppresses_only_named_rules():
+    index = SuppressionIndex.from_source(
+        "x = 1  # repro: noqa[DET001,ASYNC001]\n"
+    )
+    assert index.suppresses(1, "DET001")
+    assert index.suppresses(1, "ASYNC001")
+    assert not index.suppresses(1, "DET002")
+    assert not index.suppresses(2, "DET001")
+
+
+def test_sup001_is_never_suppressable():
+    index = SuppressionIndex.from_source("x = 1  # repro: noqa\n")
+    assert not index.suppresses(1, UNUSED_SUPPRESSION_ID)
+
+
+def test_marker_inside_string_is_not_a_suppression():
+    index = SuppressionIndex.from_source(
+        's = "text with # repro: noqa inside"\n'
+    )
+    assert not index.suppresses(1, "DET001")
+
+
+def test_mixed_fixture_used_and_unused_markers():
+    result = run_lint(
+        [FIXTURES / "suppression_mixed.py"],
+        LintConfig(select=["DET002"]),
+    )
+    # The DET002 finding is absorbed; the stale marker surfaces.
+    assert [f.rule_id for f in result.findings] == [UNUSED_SUPPRESSION_ID]
+    assert result.suppressed == 1
+    assert "matches no finding" in result.findings[0].message
+
+
+def test_unused_marker_reports_line_of_the_comment(tmp_path):
+    target = tmp_path / "stale.py"
+    target.write_text(
+        "VALUE = 1\n"
+        "OTHER = 2  # repro: noqa[DET001]\n",
+        encoding="utf-8",
+    )
+    result = run_lint([target], LintConfig())
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert finding.rule_id == UNUSED_SUPPRESSION_ID
+    assert finding.line == 2
+
+
+def test_case_insensitive_rule_ids_in_marker(tmp_path):
+    target = tmp_path / "lower.py"
+    target.write_text(
+        "import json\n"
+        "def emit(v):\n"
+        "    return json.dumps(set(v))  # repro: noqa[det002]\n",
+        encoding="utf-8",
+    )
+    result = run_lint([target], LintConfig(select=["DET002"]))
+    assert result.findings == []
+    assert result.suppressed == 1

@@ -239,9 +239,17 @@ def cmd_cache(args: argparse.Namespace) -> int:
     for record in records:
         seed = record["seed"] if record["seed"] is not None else "?"
         ases = record["n_ases"] if record["n_ases"] is not None else "?"
+        # Concurrency residue: a held writer lock means some process is
+        # building this entry right now; .tmp stragglers are leftovers
+        # of interrupted writers (harmless, swept by `cache clear`).
+        flags = ""
+        if record.get("locked"):
+            flags += "  [locked]"
+        if record.get("stragglers"):
+            flags += f"  [{record['stragglers']} tmp straggler(s)]"
         print(f"  {record['key']}  seed={seed} ases={ases} "
               f"{record['size_bytes'] / 1e6:6.1f} MB  "
-              f"[{', '.join(record['files'])}]")
+              f"[{', '.join(record['files'])}]{flags}")
     return 0
 
 

@@ -18,6 +18,14 @@ artifacts.  This package exploits both facts:
 Both are wired into :func:`repro.scenario.build_scenario` and the CLI
 (``--workers``, ``--cache``, ``repro cache``); see
 ``docs/architecture.md`` for the worker model and cache layout.
+
+The cache is safe for concurrent and crashing writers sharing one
+root: writes publish unique per-writer temp files via atomic rename,
+cross-process builders single-flight through advisory
+:class:`~repro.pipeline.locks.EntryLock` files, reads retry once when a
+file vanishes mid-parse, and every filesystem primitive flows through
+the :class:`~repro.pipeline.fsops.CacheFilesystem` seam so
+:mod:`repro.testing.faults` can prove the degrade-to-miss guarantee.
 """
 
 from repro.pipeline.cache import (
@@ -26,13 +34,18 @@ from repro.pipeline.cache import (
     default_cache_root,
     resolve_cache,
 )
+from repro.pipeline.fsops import CacheFilesystem
+from repro.pipeline.locks import EntryLock, is_locked
 from repro.pipeline.parallel import ParallelPropagator, resolve_workers
 
 __all__ = [
     "ArtifactCache",
+    "CacheFilesystem",
+    "EntryLock",
     "ParallelPropagator",
     "PIPELINE_CACHE_VERSION",
     "default_cache_root",
+    "is_locked",
     "resolve_cache",
     "resolve_workers",
 ]

@@ -1,0 +1,69 @@
+"""Filesystem seam for the artifact cache.
+
+Every byte the :class:`~repro.pipeline.cache.ArtifactCache` moves to or
+from disk goes through one of the primitives below.  The indirection
+exists for exactly one reason: the cache's crash/concurrency contract
+("every fault degrades to a recorded miss plus a recompute, never a
+crash or a wrong artifact") is only worth documenting if it can be
+*executed*, and :mod:`repro.testing.faults` does that by substituting a
+:class:`~repro.testing.faults.FaultyFilesystem` that injects
+crash-before-rename, partial writes, ``ENOSPC`` and concurrent-deleter
+interleavings at these exact call sites.
+
+The default implementation is deliberately boring — each method is a
+one-line passthrough to :mod:`os`/:mod:`pathlib`/:mod:`shutil` — so the
+production cache pays nothing for the seam.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Callable
+
+
+class CacheFilesystem:
+    """The primitive filesystem operations the artifact cache performs.
+
+    Subclasses may override any method to observe or perturb the
+    operation; the cache never touches the filesystem except through an
+    instance of this class.  Instances carry no state and are picklable,
+    so a cache configured with one can cross a process boundary.
+    """
+
+    def mkdir(self, path: Path) -> None:
+        """Create ``path`` (and parents); existing directories are fine."""
+        path.mkdir(parents=True, exist_ok=True)
+
+    def write_text(self, path: Path, text: str) -> None:
+        """Write ``text`` to ``path`` (the cache only targets tmp names)."""
+        path.write_text(text, encoding="utf-8")
+
+    def run_writer(self, writer: Callable[[Path], Any], path: Path) -> None:
+        """Invoke an artifact serialiser against ``path``."""
+        writer(path)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        """Atomically publish ``src`` over ``dst`` (the commit point)."""
+        os.replace(src, dst)
+
+    def read_text(self, path: Path) -> str:
+        """Read a small text file (``meta.json``)."""
+        return path.read_text(encoding="utf-8")
+
+    def run_reader(self, reader: Callable[[Path], Any], path: Path) -> Any:
+        """Invoke an artifact parser against ``path``."""
+        return reader(path)
+
+    def stat_size(self, path: Path) -> int:
+        """Size of ``path`` in bytes."""
+        return path.stat().st_size
+
+    def unlink(self, path: Path) -> None:
+        """Remove one file."""
+        path.unlink()
+
+    def rmtree(self, path: Path) -> None:
+        """Remove one directory tree."""
+        shutil.rmtree(path)

@@ -1,0 +1,223 @@
+"""Advisory per-entry lock files for the artifact cache.
+
+Several processes routinely share one ``$REPRO_CACHE_DIR`` — ``repro
+serve`` build threads, parallel CLI runs, CI jobs.  Thanks to unique
+per-writer temp names plus atomic rename, concurrent writers of the
+same entry are *safe* without any locking; what they are not is
+*cheap*: N cold processes asked for the same scenario would each run
+the full propagation before N-1 of them throw their result away.  The
+:class:`EntryLock` turns that stampede into a single flight — the first
+builder takes the entry's lock, the rest block briefly, re-check the
+cache, and load the published artifact instead of recomputing.
+
+Layout: one lock file per entry under ``<root>/.locks/<key>.lock``
+(outside the entry directory, so purging a broken entry never deletes a
+lock somebody holds).
+
+Two implementations, picked automatically:
+
+* ``fcntl.flock`` (Unix) — the kernel drops the lock when the holding
+  process dies, so a crashed builder can never leave a stale lock.
+  Lock files are not unlinked on release (unlink-while-locked races
+  would let two holders lock different inodes of the same path); they
+  are empty-truncated breadcrumbs that ``clear()`` sweeps when unheld.
+* ``O_EXCL`` creation (everywhere else) — the lock is the file's
+  existence, stamped with the owner's pid.  Stale recovery breaks a
+  lock whose pid is dead or unparsable, or whose file is older than
+  :data:`STALE_LOCK_SECONDS`.
+
+Failing to acquire is never fatal: callers time out, proceed without
+the lock, and fall back to the stampede the atomic-rename scheme
+already tolerates.  The lock is purely an optimisation — correctness
+never depends on it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # pragma: no cover - import guard exercised only off-Unix
+    import fcntl
+
+    _HAVE_FCNTL = True
+except ImportError:  # pragma: no cover - non-Unix platforms
+    fcntl = None  # type: ignore[assignment]
+    _HAVE_FCNTL = False
+
+#: Directory under the cache root holding the lock files.
+LOCK_DIR_NAME = ".locks"
+
+#: Age beyond which an ``O_EXCL``-style lock is considered abandoned.
+STALE_LOCK_SECONDS = 300.0
+
+
+def lock_path(root: Union[str, Path], key: str) -> Path:
+    """Where the advisory lock for entry ``key`` lives."""
+    return Path(root) / LOCK_DIR_NAME / f"{key}.lock"
+
+
+class EntryLock:
+    """Advisory exclusive lock on one cache entry (not reentrant).
+
+    Usable as a context manager; ``__enter__`` acquires with the
+    configured timeout and records the outcome in ``self.acquired``
+    instead of raising, because every caller treats lock failure as
+    "proceed unlocked"::
+
+        with cache.entry_lock(key) as lock:
+            ...  # single-flighted when lock.acquired, stampede otherwise
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        key: str,
+        timeout: float = 10.0,
+        poll_interval: float = 0.05,
+        use_fcntl: Optional[bool] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.entry = key
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        if use_fcntl is None:
+            self._use_fcntl = _HAVE_FCNTL
+        else:
+            self._use_fcntl = bool(use_fcntl) and _HAVE_FCNTL
+        self.acquired = False
+        self._fd: Optional[int] = None
+
+    @property
+    def path(self) -> Path:
+        return lock_path(self.root, self.entry)
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+    def acquire(self) -> bool:
+        """Try to take the lock until ``timeout``; False on failure."""
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                if self._try_acquire():
+                    self.acquired = True
+                    return True
+            except OSError:
+                # An unwritable lock directory (read-only cache mount,
+                # permission skew between CI jobs) must not take the
+                # build down — run unlocked instead.
+                return False
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(self.poll_interval)
+
+    def _try_acquire(self) -> bool:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._use_fcntl:
+            fd = os.open(str(self.path), os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                return False
+            os.ftruncate(fd, 0)
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            self._fd = fd
+            return True
+        # O_EXCL fallback: existence is the lock.
+        try:
+            fd = os.open(
+                str(self.path), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            if self._is_stale():
+                self._break_stale()
+            return False
+        os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        os.close(fd)
+        return True
+
+    # ------------------------------------------------------------------
+    # stale recovery (O_EXCL fallback only)
+    # ------------------------------------------------------------------
+    def _is_stale(self) -> bool:
+        try:
+            raw = self.path.read_text(encoding="ascii")
+        except OSError:
+            return False  # vanished or unreadable: let the retry loop see
+        try:
+            pid = int(raw.strip())
+        except ValueError:
+            return True  # a holder that never wrote its pid is no holder
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # owner is dead
+        except (OSError, PermissionError):
+            pass  # alive (or unknowable): fall through to the age check
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return False
+        return age > STALE_LOCK_SECONDS
+
+    def _break_stale(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # somebody else broke or re-took it first
+
+    # ------------------------------------------------------------------
+    # release
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        if not self.acquired:
+            return
+        self.acquired = False
+        if self._fd is not None:
+            fd, self._fd = self._fd, None
+            try:
+                os.ftruncate(fd, 0)
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(fd)
+            return
+        self._break_stale()  # fallback mode: removing the file releases
+
+    def __enter__(self) -> "EntryLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+def is_locked(root: Union[str, Path], key: str) -> bool:
+    """Whether some process currently holds entry ``key``'s lock.
+
+    Purely observational (``repro cache list``); the answer can be
+    outdated by the time the caller acts on it.
+    """
+    path = lock_path(root, key)
+    if not path.exists():
+        return False
+    if not _HAVE_FCNTL:
+        probe = EntryLock(root, key, use_fcntl=False)
+        return not probe._is_stale()
+    try:
+        fd = os.open(str(path), os.O_RDWR)
+    except OSError:
+        return False  # vanished between exists() and open: nobody holds it
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        return True
+    else:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        return False
+    finally:
+        os.close(fd)

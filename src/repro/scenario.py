@@ -321,11 +321,27 @@ def build_scenario(
         corpus = cache_obj.load_corpus(key)
         corpus_from_cache = corpus is not None
     if corpus is None:
-        corpus = collect_rounds(
-            topology, config, vps, communities, strippers, workers=workers
-        )
-        if cache_obj is not None:
-            cache_obj.store_corpus(key, corpus, config)
+        if cache_obj is None:
+            corpus = collect_rounds(
+                topology, config, vps, communities, strippers, workers=workers
+            )
+        else:
+            # Cross-process single flight: take the entry's advisory
+            # lock so concurrent cold builders of the same key wait for
+            # one writer, then re-check the cache — the lock holder may
+            # have published while we queued.  A lock timeout degrades
+            # to a stampede, which the cache's unique-tmp-name atomic
+            # publication keeps safe (just not cheap).
+            with cache_obj.entry_lock(key):
+                corpus = cache_obj.load_corpus(key)
+                if corpus is not None:
+                    corpus_from_cache = True
+                else:
+                    corpus = collect_rounds(
+                        topology, config, vps, communities, strippers,
+                        workers=workers,
+                    )
+                    cache_obj.store_corpus(key, corpus, config)
     raw: Optional[CompiledValidation] = None
     cleaned = None
     if corpus_from_cache:

@@ -145,7 +145,9 @@ class ReproService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self.pool.close()
+        # aclose (not close): cancel in-flight builds and reap them so
+        # shutdown leaves no pending task or orphaned executor thread.
+        await self.pool.aclose()
 
     async def run(self, host: str = "127.0.0.1", port: int = 8787) -> None:
         """Serve until SIGINT/SIGTERM, then shut down cleanly."""

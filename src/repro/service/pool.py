@@ -216,4 +216,38 @@ class ScenarioPool:
         }
 
     def close(self) -> None:
+        """Synchronous shutdown: cancel in-flight builds, stop the executor.
+
+        Safe to call with no running loop (the tasks are then already
+        dead with their loop).  From async code prefer
+        :meth:`aclose`, which additionally *awaits* the cancelled
+        builds so none is garbage-collected while pending ("Task was
+        destroyed but it is pending") and no executor job outlives
+        shutdown unobserved.
+        """
+        for task in list(self._building.values()):
+            task.cancel()
         self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def aclose(self) -> None:
+        """Cancel and reap in-flight builds, then stop the executor.
+
+        Waiters blocked in :meth:`get_or_build` receive
+        ``CancelledError`` through their shield; cancelled build tasks
+        are awaited (so none is destroyed pending) and the executor is
+        joined off-loop — queued jobs are cancelled, already-running
+        ones finish with their results discarded, and no build thread
+        outlives this coroutine.
+        """
+        tasks = [task for task in self._building.values() if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._building.clear()
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._shutdown_executor
+        )
+
+    def _shutdown_executor(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,29 @@
+"""Test-support subsystems shipped with the library.
+
+The modules here are production code held to the same contracts as the
+rest of ``repro`` (stdlib + numpy only, deterministic, lint-clean) but
+exist to *exercise* the library rather than to run the paper's
+pipeline.  Today that is :mod:`repro.testing.faults`, the deterministic
+filesystem fault-injection layer that proves the artifact cache's
+crash/concurrency guarantees.
+"""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    INJECTION_MATRIX,
+    Fault,
+    FaultyFilesystem,
+    InjectedCrash,
+    full_fault_matrix,
+    seeded_fault_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultyFilesystem",
+    "INJECTION_MATRIX",
+    "InjectedCrash",
+    "full_fault_matrix",
+    "seeded_fault_plan",
+]

@@ -1,0 +1,260 @@
+"""Deterministic filesystem fault injection for the artifact cache.
+
+The cache documents a hard invariant: *every fault degrades to a
+recorded miss plus a recompute, never a crash or a wrong artifact* —
+for corruption, for crashed writers, and for concurrent
+readers/writers/deleters sharing one root.  This module makes that
+invariant executable.  A :class:`FaultyFilesystem` is a drop-in
+:class:`~repro.pipeline.fsops.CacheFilesystem` whose primitives fire a
+declarative, fully deterministic schedule of :class:`Fault` objects:
+
+    cache = ArtifactCache(root=root, fs=FaultyFilesystem([
+        Fault(op="replace", kind="crash"),      # die just before rename
+    ]))
+
+Fault kinds (each one-shot, armed per operation and call ordinal):
+
+``crash``
+    Die immediately *before* the operation (``kill -9`` at the call
+    site): nothing written, :class:`InjectedCrash` raised.
+``partial``
+    Die *mid*-operation: half the bytes land in the temp file, then
+    :class:`InjectedCrash`.  Because publication is
+    write-tmp-then-rename, a torn write can only ever strand a temp
+    straggler, never a half-written published artifact.
+``enospc``
+    The filesystem refuses: half the bytes land, then
+    ``OSError(ENOSPC)``.  Unlike a crash the process survives, so the
+    cache must swallow this and degrade to an uncached build.
+``vanish``
+    A concurrent deleter (``repro cache clear``) removes the target
+    just before a read/stat reaches it — the file is really unlinked,
+    then the operation proceeds (and fails naturally).
+``flicker``
+    A transient vanish: the read raises ``FileNotFoundError`` once but
+    the file is untouched, so the cache's retry-once path must recover
+    and still return the artifact.
+
+:class:`InjectedCrash` deliberately does **not** subclass ``OSError``:
+the cache's graceful-degradation paths swallow ``OSError`` (a full
+disk is an operational condition), while a crash must abort the caller
+mid-operation exactly like process death would, leaving residue behind
+for the *next* process to cope with.
+
+Schedules are data, so they are trivially deterministic; for
+randomised stress, :func:`seeded_fault_plan` derives a schedule from an
+integer seed through the library's standard
+:func:`repro.utils.rng.make_rng` plumbing — the same seed always
+yields the same faults on every platform.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.pipeline.fsops import CacheFilesystem
+from repro.utils.rng import make_rng
+
+
+class InjectedCrash(Exception):
+    """Simulated process death at a filesystem injection point."""
+
+
+#: Every fault kind the layer can inject.
+FAULT_KINDS: Tuple[str, ...] = (
+    "crash", "partial", "enospc", "vanish", "flicker",
+)
+
+#: Which kinds are meaningful on which cache filesystem operation.
+#: ``replace`` has no ``partial`` — rename is atomic on POSIX, which is
+#: precisely what the cache's publication scheme relies on.
+INJECTION_MATRIX: Dict[str, Tuple[str, ...]] = {
+    "write_text": ("crash", "partial", "enospc"),
+    "run_writer": ("crash", "partial", "enospc"),
+    "replace": ("crash", "enospc"),
+    "read_text": ("vanish", "flicker"),
+    "run_reader": ("vanish", "flicker"),
+    "stat_size": ("vanish",),
+}
+
+
+@dataclass
+class Fault:
+    """One armed fault: fire ``kind`` on the ``at``-th matching call.
+
+    ``path_substring`` narrows the trigger to paths containing it (an
+    artifact filename, a key); matching is counted per fault, so two
+    faults on the same operation fire independently.  Faults are
+    one-shot: after firing they are spent.
+    """
+
+    op: str
+    kind: str
+    at: int = 1
+    path_substring: str = ""
+    fired: bool = False
+    _seen: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        allowed = INJECTION_MATRIX.get(self.op)
+        if allowed is None:
+            raise ValueError(
+                f"unknown injection point {self.op!r} "
+                f"(one of {sorted(INJECTION_MATRIX)})"
+            )
+        if self.kind not in allowed:
+            raise ValueError(
+                f"fault kind {self.kind!r} is not injectable on "
+                f"{self.op!r} (allowed: {allowed})"
+            )
+        if self.at < 1:
+            raise ValueError("`at` is a 1-based call ordinal")
+
+    def triggers(self, op: str, path: Path) -> bool:
+        if self.fired or op != self.op:
+            return False
+        if self.path_substring and self.path_substring not in str(path):
+            return False
+        self._seen += 1
+        return self._seen == self.at
+
+
+def full_fault_matrix() -> List[Fault]:
+    """One fault per (operation, kind) pair — the acceptance matrix."""
+    return [
+        Fault(op=op, kind=kind)
+        for op in sorted(INJECTION_MATRIX)
+        for kind in INJECTION_MATRIX[op]
+    ]
+
+
+def seeded_fault_plan(seed: int, n_faults: int = 3) -> List[Fault]:
+    """A deterministic pseudo-random fault schedule.
+
+    Draws operations, kinds, and call ordinals from the library's
+    seeded generator plumbing, so a failing stress run is reproduced by
+    re-running with the same seed.
+    """
+    rng = make_rng(seed)
+    ops = sorted(INJECTION_MATRIX)
+    plan: List[Fault] = []
+    for _ in range(n_faults):
+        op = ops[int(rng.integers(len(ops)))]
+        kinds = INJECTION_MATRIX[op]
+        plan.append(Fault(
+            op=op,
+            kind=kinds[int(rng.integers(len(kinds)))],
+            at=int(rng.integers(1, 4)),
+        ))
+    return plan
+
+
+class FaultyFilesystem(CacheFilesystem):
+    """A :class:`CacheFilesystem` that executes a fault schedule.
+
+    Operations not matched by any armed fault pass straight through to
+    the real filesystem.  ``calls`` counts every operation (fired or
+    not) and ``injected`` logs ``(op, kind, path)`` per fired fault,
+    so tests can assert a schedule actually ran.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        self.faults: List[Fault] = list(faults)
+        self.calls: Dict[str, int] = {}
+        self.injected: List[Tuple[str, str, str]] = []
+
+    # -- scheduling ----------------------------------------------------
+    def _armed(self, op: str, path: Path) -> Any:
+        self.calls[op] = self.calls.get(op, 0) + 1
+        for fault in self.faults:
+            if fault.triggers(op, path):
+                fault.fired = True
+                self.injected.append((op, fault.kind, path.name))
+                return fault
+        return None
+
+    @staticmethod
+    def _truncate_to_half(path: Path) -> None:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return
+        path.write_bytes(data[: len(data) // 2])
+
+    @staticmethod
+    def _half_of(text: str) -> str:
+        return text[: len(text) // 2]
+
+    @staticmethod
+    def _enospc(path: Path) -> "OSError":
+        return OSError(errno.ENOSPC, "No space left on device (injected)", str(path))
+
+    def _unlink_quietly(self, path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- injected primitives -------------------------------------------
+    def write_text(self, path: Path, text: str) -> None:
+        fault = self._armed("write_text", path)
+        if fault is None:
+            return super().write_text(path, text)
+        if fault.kind == "crash":
+            raise InjectedCrash(f"crash before write of {path.name}")
+        super().write_text(path, self._half_of(text))
+        if fault.kind == "partial":
+            raise InjectedCrash(f"crash mid-write of {path.name}")
+        raise self._enospc(path)
+
+    def run_writer(self, writer: Callable[[Path], Any], path: Path) -> None:
+        fault = self._armed("run_writer", path)
+        if fault is None:
+            return super().run_writer(writer, path)
+        if fault.kind == "crash":
+            raise InjectedCrash(f"crash before serialising {path.name}")
+        super().run_writer(writer, path)
+        self._truncate_to_half(path)
+        if fault.kind == "partial":
+            raise InjectedCrash(f"crash mid-serialisation of {path.name}")
+        raise self._enospc(path)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        fault = self._armed("replace", dst)
+        if fault is None:
+            return super().replace(src, dst)
+        if fault.kind == "crash":
+            raise InjectedCrash(f"crash before rename onto {dst.name}")
+        raise self._enospc(dst)
+
+    def read_text(self, path: Path) -> str:
+        fault = self._armed("read_text", path)
+        if fault is not None:
+            if fault.kind == "vanish":
+                self._unlink_quietly(path)
+            else:  # flicker: transient NFS-style ghost, file untouched
+                raise FileNotFoundError(
+                    errno.ENOENT, "vanished (injected flicker)", str(path)
+                )
+        return super().read_text(path)
+
+    def run_reader(self, reader: Callable[[Path], Any], path: Path) -> Any:
+        fault = self._armed("run_reader", path)
+        if fault is not None:
+            if fault.kind == "vanish":
+                self._unlink_quietly(path)
+            else:
+                raise FileNotFoundError(
+                    errno.ENOENT, "vanished (injected flicker)", str(path)
+                )
+        return super().run_reader(reader, path)
+
+    def stat_size(self, path: Path) -> int:
+        fault = self._armed("stat_size", path)
+        if fault is not None:
+            self._unlink_quietly(path)
+        return super().stat_size(path)

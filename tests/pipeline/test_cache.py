@@ -277,3 +277,63 @@ class TestMaintenance:
         assert default_cache_root() == tmp_path / "envroot"
         monkeypatch.delenv("REPRO_CACHE_DIR")
         assert default_cache_root().name == "repro"
+
+
+# ---------------------------------------------------------------------------
+# crash-safety regressions
+# ---------------------------------------------------------------------------
+
+class TestCrashSafetyRegressions:
+    def test_store_refreshes_stale_meta(self, tmp_path):
+        """A key dir with outdated ``meta.json`` must be re-stamped on store.
+
+        Regression: ``_write_meta`` used to early-return whenever a meta
+        file existed, so a store into an entry left by an older code
+        version kept the stale version stamp and the key recomputed on
+        every subsequent run, forever.
+        """
+        import json
+
+        scenario = cold_build(3)
+        config = scenario.config
+        stale = ArtifactCache(root=tmp_path, code_version="ancient")
+        key = stale.scenario_key(config)
+        stale.store_corpus(key, scenario.corpus, config)
+
+        current = ArtifactCache(root=tmp_path)
+        assert current.load_corpus(key) is None, "stale code must miss"
+        current.store_corpus(key, scenario.corpus, config)
+        meta = json.loads((tmp_path / key / "meta.json").read_text())
+        assert meta["code"] == current.code_version
+        assert current.load_corpus(key) is not None, (
+            "the refreshed entry must hit for the current code version"
+        )
+
+    def test_entries_survives_concurrent_deletion(self, tmp_path):
+        """``entries()`` must not crash when a clearer races the listing."""
+        from repro.testing.faults import Fault, FaultyFilesystem
+
+        scenario = cold_build(3)
+        cache = ArtifactCache(root=tmp_path)
+        key = cache.scenario_key(scenario.config)
+        cache.store_corpus(key, scenario.corpus, scenario.config)
+        racing = ArtifactCache(
+            root=tmp_path,
+            fs=FaultyFilesystem([Fault(op="stat_size", kind="vanish")]),
+        )
+        records = racing.entries()  # must not raise FileNotFoundError
+        assert isinstance(records, list)
+
+    def test_entries_reports_locks_and_stragglers(self, tmp_path):
+        scenario = cold_build(3)
+        cache = ArtifactCache(root=tmp_path)
+        key = cache.scenario_key(scenario.config)
+        cache.store_corpus(key, scenario.corpus, scenario.config)
+        (tmp_path / key / "corpus.paths.9999.0.tmp").write_text("torn")
+        with cache.entry_lock(key):
+            (record,) = cache.entries()
+            assert record["locked"] is True
+            assert record["stragglers"] == 1
+            assert all(not f.endswith(".tmp") for f in record["files"])
+        (record,) = cache.entries()
+        assert record["locked"] is False

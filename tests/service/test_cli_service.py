@@ -84,6 +84,37 @@ def test_cache_list_json_enumerates_entries(tmp_path, capsys):
     assert "rels-asrank.asrel" in entry["files"]
 
 
+def test_cache_list_surfaces_locks_and_stragglers(tmp_path, capsys):
+    from repro.config import ScenarioConfig
+
+    cache = ArtifactCache(root=tmp_path)
+    config = ScenarioConfig.small(seed=7)
+    rels = RelationshipSet()
+    rels.set_p2c(10, 20)
+    key = cache.scenario_key(config)
+    cache.store_rels(key, "asrank", rels, config)
+    (tmp_path / key / "corpus.paths.4242.0.tmp").write_text("torn write")
+
+    with cache.entry_lock(key):
+        rc = cli.main(
+            ["cache", "list", "--json", "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        (entry,) = json.loads(capsys.readouterr().out)["entries"]
+        assert entry["locked"] is True
+        assert entry["stragglers"] == 1
+
+        rc = cli.main(["cache", "list", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "[locked]" in text
+        assert "tmp straggler" in text
+
+    rc = cli.main(["cache", "list", "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    assert "[locked]" not in capsys.readouterr().out
+
+
 def test_cache_path_json(tmp_path, capsys):
     rc = cli.main(["cache", "path", "--json", "--cache-dir", str(tmp_path)])
     assert rc == 0

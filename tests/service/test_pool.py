@@ -156,3 +156,51 @@ def test_unknown_id_lookup_counts_a_miss():
     assert pool.misses == 1
     assert pool.latest() is None
     pool.close()
+
+
+def test_aclose_cancels_and_reaps_in_flight_builds():
+    calls: List[int] = []
+    pool = make_pool(calls, delay=0.3)
+
+    async def scenario():
+        waiter = asyncio.ensure_future(
+            pool.get_or_build(ScenarioConfig.small(seed=9))
+        )
+        while pool.builds_in_progress == 0:
+            await asyncio.sleep(0.01)
+        await pool.aclose()
+        assert pool.builds_in_progress == 0, "aclose must reap _building"
+        with pytest.raises(asyncio.CancelledError):
+            await waiter
+        # The executor has been joined: no build thread outlives aclose,
+        # so admission after shutdown cannot happen behind our back.
+        assert len(pool) == 0
+
+    asyncio.run(scenario())
+
+
+def test_aclose_idles_cleanly_with_nothing_in_flight():
+    pool = make_pool([])
+
+    async def scenario():
+        await pool.aclose()
+        await pool.aclose()  # idempotent
+
+    asyncio.run(scenario())
+
+
+def test_sync_close_cancels_in_flight_builds():
+    calls: List[int] = []
+    pool = make_pool(calls, delay=0.3)
+
+    async def scenario():
+        waiter = asyncio.ensure_future(
+            pool.get_or_build(ScenarioConfig.small(seed=9))
+        )
+        while pool.builds_in_progress == 0:
+            await asyncio.sleep(0.01)
+        pool.close()
+        with pytest.raises(asyncio.CancelledError):
+            await waiter
+
+    asyncio.run(scenario())

@@ -4,14 +4,22 @@ Not paper experiments — these time the simulator's hot paths so
 regressions in the engine are caught alongside the science:
 
 * per-origin route computation (the inner loop of collection),
-* corpus indexing throughput,
+* corpus indexing throughput (ingest + the derived views inference
+  reads: links, degrees, triplets),
 * full ASRank inference over the paper-scale corpus,
 * parallel propagation speedup over serial (multi-core hosts only),
 * warm-cache scenario builds that skip propagation entirely.
+
+Every benchmark records its median into ``BENCH_substrate.json`` (see
+:mod:`repro.utils.benchreport`) together with the paper-scale corpus's
+columnar memory footprint, so CI archives machine-readable numbers and
+successive runs can be diffed.  Set ``BENCH_OUTPUT_DIR`` to redirect
+the report; partial runs merge into an existing file.
 """
 
 import os
 import time
+from typing import Any, Dict
 
 import pytest
 
@@ -19,9 +27,39 @@ from repro import ScenarioConfig, build_scenario
 from repro.bgp.collectors import collect_corpus
 from repro.bgp.policy import AdjacencyIndex
 from repro.bgp.propagation import compute_route_tree
-from repro.datasets.paths import CollectedRoute, PathCorpus
+from repro.datasets.paths import PathCorpus
 from repro.inference.asrank import ASRank
 from repro.pipeline.cache import ArtifactCache
+from repro.service.query import corpus_stats_payload
+from repro.utils.benchreport import merge_bench_report
+
+#: name -> {"median_seconds": ..., "min_seconds": ..., ...}
+_RESULTS: Dict[str, Dict[str, Any]] = {}
+#: top-level report keys (corpus stats/memory), replaced wholesale.
+_EXTRA: Dict[str, Any] = {}
+
+
+def _record(name: str, benchmark, **extra: Any) -> None:
+    stats = benchmark.stats.stats
+    entry: Dict[str, Any] = {
+        "median_seconds": float(stats.median),
+        "min_seconds": float(stats.min),
+        "rounds": int(stats.rounds),
+    }
+    entry.update(extra)
+    _RESULTS[name] = entry
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_report():
+    """Write ``BENCH_substrate.json`` after the module's benchmarks."""
+    yield
+    if not _RESULTS:
+        return
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR") or "."
+    path = os.path.join(out_dir, "BENCH_substrate.json")
+    report = merge_bench_report(path, dict(_RESULTS), extra=dict(_EXTRA))
+    print(f"\n[bench] wrote {path} ({len(report['benchmarks'])} entries)")
 
 
 def test_perf_route_tree(paper, benchmark):
@@ -33,6 +71,7 @@ def test_perf_route_tree(paper, benchmark):
             compute_route_tree(adjacency, origin)
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+    _record("route_tree_50_origins", benchmark)
 
 
 def test_perf_corpus_indexing(paper, benchmark):
@@ -40,12 +79,25 @@ def test_perf_corpus_indexing(paper, benchmark):
 
     def rebuild():
         corpus = PathCorpus()
-        for route in routes:
-            corpus.add_route(route)
+        corpus.add_routes(routes)
+        # Force the derived views the inference layer consumes — the
+        # columnar layout indexes lazily, so ingest alone would not be
+        # an honest indexing benchmark.
+        corpus.visible_links()
+        corpus.transit_degrees()
+        corpus.node_degrees()
+        corpus.triplet_continuations()
+        corpus.stats()
         return corpus
 
     corpus = benchmark.pedantic(rebuild, rounds=3, iterations=1)
     assert len(corpus) == len(routes)
+    _record(
+        "corpus_indexing",
+        benchmark,
+        n_routes=len(routes),
+        corpus_memory_bytes=int(corpus.memory_report()["total_bytes"]),
+    )
 
 
 def test_perf_asrank_inference(paper, benchmark):
@@ -53,6 +105,8 @@ def test_perf_asrank_inference(paper, benchmark):
         lambda: ASRank().infer(paper.corpus), rounds=3, iterations=1
     )
     assert len(rels) == len(paper.corpus.visible_links())
+    _record("asrank_inference", benchmark)
+    _EXTRA["corpus"] = corpus_stats_payload(paper.corpus)
 
 
 def _parallel_bench_config() -> ScenarioConfig:
@@ -91,6 +145,12 @@ def test_perf_parallel_collection_speedup(benchmark):
     speedup = serial_seconds / parallel_seconds
     print(f"\n[parallel] serial {serial_seconds:.2f}s, "
           f"4 workers {parallel_seconds:.2f}s, speedup {speedup:.2f}x")
+    _record(
+        "parallel_collection",
+        benchmark,
+        serial_seconds=serial_seconds,
+        speedup=speedup,
+    )
     assert speedup >= 2.0
 
 
@@ -119,4 +179,5 @@ def test_perf_warm_cache_build(benchmark, tmp_path, monkeypatch):
     print(f"\n[cache] cold {cold_seconds:.2f}s, "
           f"warm {warm_seconds:.2f}s "
           f"({cold_seconds / warm_seconds:.1f}x faster)")
+    _record("warm_cache_build", benchmark, cold_seconds=cold_seconds)
     assert warm_seconds < cold_seconds

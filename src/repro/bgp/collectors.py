@@ -206,9 +206,11 @@ class RouteCollector:
 
         With ``workers`` (falling back to the collector-level setting),
         the per-origin work — route tree *and* its reduction to VP
-        paths — runs in worker processes; only the small route records
-        cross the process boundary, and they arrive in the exact order
-        the serial loop would produce them, so the corpus is identical.
+        paths — runs in worker processes; routes cross the process
+        boundary as packed array slabs
+        (:class:`~repro.pipeline.columnar.RouteSlab`) and arrive in the
+        exact order the serial loop would produce them, so the corpus
+        is identical.
         """
         if corpus is None:
             corpus = PathCorpus()
@@ -222,17 +224,21 @@ class RouteCollector:
             from repro.pipeline.parallel import ParallelPropagator
 
             propagator = ParallelPropagator(adjacency, workers=workers)
-            for route in propagator.collect_routes(
-                self.vantage_points, self.communities, self.strippers, origins
-            ):
-                corpus.add_route(route)
+            corpus.add_routes(
+                propagator.collect_routes(
+                    self.vantage_points, self.communities, self.strippers,
+                    origins,
+                )
+            )
             return corpus
         for origin in origins:
             tree = compute_route_tree(adjacency, origin)
-            for route in routes_for_origin(
-                tree, self.vantage_points, self.communities, self.strippers
-            ):
-                corpus.add_route(route)
+            corpus.add_routes(
+                routes_for_origin(
+                    tree, self.vantage_points, self.communities,
+                    self.strippers,
+                )
+            )
         return corpus
 
 

@@ -9,6 +9,7 @@ Exposes the reproduction pipeline without writing Python::
     repro export --out ./results         # machine-readable results bundle
     repro evolve --months 6              # §7 re-sampling experiment
     repro cache list [--json]            # inspect the artifact cache
+    repro corpus stats [--json]          # corpus counters + columnar memory
     repro serve --port 8787              # HTTP query service (repro.service)
     repro lint [--format json]           # AST contract linter (repro.devtools)
 
@@ -253,6 +254,33 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_corpus(args: argparse.Namespace) -> int:
+    scenario = _build(args)
+    payload = scenario.corpus_stats()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    stats = payload["stats"]
+    memory = payload["memory"]
+    intern = payload["intern_tables"]
+    print(f"corpus: {stats['n_routes']} routes from "
+          f"{stats['n_vps']} vantage points")
+    print(f"  visible links    : {stats['n_visible_links']}")
+    print(f"  visible ASes     : {stats['n_visible_ases']}")
+    print(f"  triplets         : {stats['n_triplets']}")
+    print(f"  with communities : {stats['n_routes_with_communities']}")
+    print(f"layout: {memory['layout']}")
+    if intern:
+        print("intern tables: "
+              + ", ".join(f"{key}={intern[key]}" for key in sorted(intern)))
+    print(f"columnar memory: {memory['total_bytes'] / 1e6:.1f} MB")
+    for section, nbytes in sorted(memory["columns_bytes"].items()):
+        print(f"  column {section:<11s} {nbytes / 1e6:8.2f} MB")
+    for section, nbytes in sorted(memory["index_bytes"].items()):
+        print(f"  index  {section:<11s} {nbytes / 1e6:8.2f} MB")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.cli import run_lint_command
 
@@ -331,6 +359,19 @@ def make_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--json", action="store_true", default=False,
                          help="machine-readable output (list/path)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="inspect the path corpus (route/link/VP counts, "
+             "columnar memory footprint)",
+    )
+    p_corpus.add_argument("action", nargs="?", default="stats",
+                          choices=("stats",),
+                          help="corpus report to print (default: stats)")
+    p_corpus.add_argument("--json", action="store_true", default=False,
+                          help="machine-readable output")
+    _add_scenario_options(p_corpus)
+    p_corpus.set_defaults(func=cmd_corpus)
 
     p_lint = sub.add_parser(
         "lint",

@@ -9,20 +9,54 @@ propagation.  All downstream consumers work from this corpus only:
 * the validation compiler (decodable relationship communities);
 * the feature extractor (Appendix C metrics).
 
-Indices are built incrementally while the collector streams routes in,
-so the corpus never needs a second pass over raw paths.
+Two storage layouts implement one API:
+
+* ``columnar`` (the default) keeps the routes in numpy CSR columns
+  (:mod:`repro.pipeline.columnar`) and derives every index lazily with
+  vectorized array passes — this is what paper-scale runs use, and what
+  the artifact cache memory-maps on warm reads;
+* ``legacy`` rebuilds the original incremental dict/set indices route
+  by route — retained as the differential baseline (the byte-equality
+  matrix in ``tests/pipeline/test_columnar_equivalence.py`` runs every
+  algorithm against both layouts) and selectable for debugging via
+  ``PathCorpus(layout="legacy")`` or ``REPRO_CORPUS_LAYOUT=legacy``.
+
+Both layouts produce byte-identical derived views, including dict
+iteration orders where observable (see the contract notes in
+:mod:`repro.pipeline.columnar`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+import os
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.bgp.communities import Community
 from repro.topology.graph import LinkKey, link_key
 
+if TYPE_CHECKING:
+    from repro.pipeline.columnar import ColumnarIndices, CorpusColumns
+
 #: An AS path as collected: vantage point first, origin last.
 Path = Tuple[int, ...]
+
+#: Recognised corpus storage layouts.
+_LAYOUTS = ("columnar", "legacy")
 
 
 @dataclass(frozen=True)
@@ -40,34 +74,95 @@ class CollectedRoute:
             yield link_key(a, b)
 
 
+class _LegacyIndex:
+    """The original eager per-route dict/set indices.
+
+    Kept verbatim as the differential baseline for the columnar engine:
+    every derived view of a ``layout="legacy"`` corpus is computed from
+    these structures exactly as the pre-columnar code did.
+    """
+
+    def __init__(self) -> None:
+        #: link -> set of VPs that saw it (ProbLink's "observed by k VPs").
+        self.link_vps: Dict[LinkKey, Set[int]] = {}
+        #: x -> set of neighbours seen adjacent to x while x was in the
+        #: middle of a path (the CAIDA transit-degree definition).
+        self.transit_neighbors: Dict[int, Set[int]] = {}
+        #: x -> all neighbours of x seen in any path (visible node degree).
+        self.neighbors: Dict[int, Set[int]] = {}
+        #: directed triplets (a, x, b) as observed left-to-right, i.e.
+        #: the collector-side AS first.
+        self.triplets: Set[Tuple[int, int, int]] = set()
+        #: link -> ASes observed to the left (collector side) of it.
+        self.left_of_link: Dict[LinkKey, Set[int]] = {}
+        #: link -> ASes observed to the right (origin side) of it.
+        self.right_of_link: Dict[LinkKey, Set[int]] = {}
+        #: origins observed announcing through each link.
+        self.link_origins: Dict[LinkKey, Set[int]] = {}
+
+    def index(self, path: Path, vp: int, origin: int) -> None:
+        for position in range(len(path) - 1):
+            a, b = path[position], path[position + 1]
+            key = link_key(a, b)
+            self.link_vps.setdefault(key, set()).add(vp)
+            self.neighbors.setdefault(a, set()).add(b)
+            self.neighbors.setdefault(b, set()).add(a)
+            if position > 0:
+                left = path[:position]
+                self.left_of_link.setdefault(key, set()).update(left)
+            if position + 2 < len(path):
+                right = path[position + 2 :]
+                self.right_of_link.setdefault(key, set()).update(right)
+            self.link_origins.setdefault(key, set()).add(origin)
+        for position in range(1, len(path) - 1):
+            a, x, b = path[position - 1], path[position], path[position + 1]
+            self.triplets.add((a, x, b))
+            transit = self.transit_neighbors.setdefault(x, set())
+            transit.add(a)
+            transit.add(b)
+
+
 class PathCorpus:
     """All collected routes plus the indices the paper's pipeline needs."""
 
-    def __init__(self) -> None:
-        self._paths: List[Path] = []
-        self._seen_paths: Set[Path] = set()
-        self._communities: Dict[int, Tuple[Community, ...]] = {}
-        self._vp_set: Set[int] = set()
-        #: link -> set of VPs that saw it (ProbLink's "observed by k VPs").
-        self._link_vps: Dict[LinkKey, Set[int]] = {}
-        #: x -> set of neighbours seen adjacent to x while x was in the
-        #: middle of a path (the CAIDA transit-degree definition).
-        self._transit_neighbors: Dict[int, Set[int]] = {}
-        #: x -> all neighbours of x seen in any path (visible node degree).
-        self._neighbors: Dict[int, Set[int]] = {}
-        #: directed triplets (a, x, b) as observed left-to-right, i.e.
-        #: the collector-side AS first.
-        self._triplets: Set[Tuple[int, int, int]] = set()
-        #: link -> ASes observed to the left (collector side) of it.
-        self._left_of_link: Dict[LinkKey, Set[int]] = {}
-        #: link -> ASes observed to the right (origin side) of it.
-        self._right_of_link: Dict[LinkKey, Set[int]] = {}
-        #: origins observed announcing through each link.
-        self._link_origins: Dict[LinkKey, Set[int]] = {}
+    def __init__(self, layout: Optional[str] = None) -> None:
+        if layout is None:
+            layout = os.environ.get("REPRO_CORPUS_LAYOUT") or "columnar"
+        if layout not in _LAYOUTS:
+            raise ValueError(
+                f"unknown corpus layout {layout!r}; expected one of {_LAYOUTS}"
+            )
+        self.layout = layout
+        self._paths: Optional[List[Path]] = []
+        self._seen_paths: Optional[Set[Path]] = set()
+        self._communities: Optional[Dict[int, Tuple[Community, ...]]] = {}
+        self._vp_set: Optional[Set[int]] = set()
+        self._legacy = _LegacyIndex() if layout == "legacy" else None
+        #: Columnar backing (set when loaded from a cache artifact, or
+        #: built lazily from the accumulated paths).
+        self._columns: Optional["CorpusColumns"] = None
+        self._index: Optional["ColumnarIndices"] = None
+        self._memo: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(cls, columns: "CorpusColumns") -> "PathCorpus":
+        """Wrap pre-built (possibly memory-mapped) corpus columns.
+
+        Paths, communities and the dedup set materialise lazily, only
+        when a consumer actually iterates routes — the inference hot
+        path never does, so a warm cache load stays near-zero-copy.
+        """
+        corpus = cls(layout="columnar")
+        corpus._columns = columns
+        corpus._paths = None
+        corpus._seen_paths = None
+        corpus._communities = None
+        corpus._vp_set = None
+        return corpus
+
     def add_route(self, route: CollectedRoute) -> bool:
         """Index one collected route.
 
@@ -81,6 +176,7 @@ class PathCorpus:
             raise ValueError("empty AS path")
         if path[0] != route.vp or path[-1] != route.origin:
             raise ValueError("path endpoints disagree with vp/origin")
+        self._materialise()
         if path in self._seen_paths:
             return False
         self._seen_paths.add(path)
@@ -89,38 +185,117 @@ class PathCorpus:
         if route.communities:
             self._communities[index] = route.communities
         self._vp_set.add(route.vp)
-        for position in range(len(path) - 1):
-            a, b = path[position], path[position + 1]
-            key = link_key(a, b)
-            self._link_vps.setdefault(key, set()).add(route.vp)
-            self._neighbors.setdefault(a, set()).add(b)
-            self._neighbors.setdefault(b, set()).add(a)
-            if position > 0:
-                left = path[:position]
-                self._left_of_link.setdefault(key, set()).update(left)
-            if position + 2 < len(path):
-                right = path[position + 2 :]
-                self._right_of_link.setdefault(key, set()).update(right)
-            self._link_origins.setdefault(key, set()).add(route.origin)
-        for position in range(1, len(path) - 1):
-            a, x, b = path[position - 1], path[position], path[position + 1]
-            self._triplets.add((a, x, b))
-            transit = self._transit_neighbors.setdefault(x, set())
-            transit.add(a)
-            transit.add(b)
+        if self._legacy is not None:
+            self._legacy.index(path, route.vp, route.origin)
+        self._invalidate()
         return True
+
+    def add_routes(self, routes: Iterable[CollectedRoute]) -> int:
+        """Bulk :meth:`add_route`; returns the number actually added."""
+        added = 0
+        for route in routes:
+            if self.add_route(route):
+                added += 1
+        return added
+
+    def _invalidate(self) -> None:
+        self._columns = None
+        self._index = None
+        if self._memo:
+            self._memo = {}
+
+    def _materialise(self) -> None:
+        """Rebuild the Python-side route storage from the columns."""
+        if self._paths is not None:
+            return
+        cols = self._columns
+        hops = cols.hops.tolist()
+        offsets = cols.offsets.tolist()
+        self._paths = [
+            tuple(hops[offsets[i] : offsets[i + 1]])
+            for i in range(len(offsets) - 1)
+        ]
+        self._seen_paths = set(self._paths)
+        if self._communities is None:
+            self._communities = cols.communities_dict()
+        if self._vp_set is None:
+            self._vp_set = {path[0] for path in self._paths}
+
+    def _ensure_communities(self) -> Dict[int, Tuple[Community, ...]]:
+        if self._communities is None:
+            self._communities = self._columns.communities_dict()
+        return self._communities
+
+    # ------------------------------------------------------------------
+    # columnar machinery
+    # ------------------------------------------------------------------
+    def columns(self) -> "CorpusColumns":
+        """The corpus as CSR columns (built once, reused by the cache)."""
+        if self._columns is None:
+            from repro.pipeline.columnar import CorpusColumns
+
+            self._columns = CorpusColumns.from_paths(
+                self._paths, self._communities
+            )
+        return self._columns
+
+    def columnar_index(self) -> Optional["ColumnarIndices"]:
+        """The vectorized index, or ``None`` on a legacy-layout corpus."""
+        if self._legacy is not None:
+            return None
+        return self._indices()
+
+    def _indices(self) -> "ColumnarIndices":
+        if self._index is None:
+            from repro.pipeline.columnar import ColumnarIndices
+
+            self._index = ColumnarIndices(self.columns())
+        return self._index
+
+    def _memoised(self, name: str, builder: Callable[[], Any]) -> Any:
+        try:
+            return self._memo[name]
+        except KeyError:
+            value = builder()
+            self._memo[name] = value
+            return value
+
+    def _degree_maps(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """(transit degrees, node degrees) in legacy first-seen order."""
+        if "transit" not in self._memo:
+            ases, transit, node = self._indices().degrees_first_seen()
+            self._memo["transit"] = dict(zip(ases, transit))
+            self._memo["node"] = dict(zip(ases, node))
+        return self._memo["transit"], self._memo["node"]
+
+    def memory_report(self) -> Dict[str, Any]:
+        """Column and index byte counts (``repro corpus stats``)."""
+        if self._legacy is not None:
+            return {
+                "columns_bytes": {},
+                "index_bytes": {},
+                "total_bytes": 0,
+                "layout": "legacy",
+            }
+        report = self._indices().memory_report()
+        report["layout"] = "columnar"
+        return report
 
     # ------------------------------------------------------------------
     # raw access
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._paths)
+        if self._paths is not None:
+            return len(self._paths)
+        return self._columns.n_routes
 
     def paths(self) -> Iterator[Path]:
+        self._materialise()
         return iter(self._paths)
 
     def routes(self) -> Iterator[CollectedRoute]:
         """Re-materialise :class:`CollectedRoute` objects."""
+        self._materialise()
         for index, path in enumerate(self._paths):
             yield CollectedRoute(
                 vp=path[0],
@@ -131,6 +306,8 @@ class PathCorpus:
 
     @property
     def vantage_points(self) -> FrozenSet[int]:
+        if self._vp_set is None:
+            self._vp_set = set(self._columns.vp_column().tolist())
         return frozenset(self._vp_set)
 
     # ------------------------------------------------------------------
@@ -139,63 +316,111 @@ class PathCorpus:
     def visible_links(self) -> List[LinkKey]:
         """Every link that appears in at least one collected path —
         the paper's "inferred links" universe."""
-        return sorted(self._link_vps.keys())
+        if self._legacy is not None:
+            return sorted(self._legacy.link_vps.keys())
+        return list(
+            self._memoised("links", lambda: self._indices().link_keys_list())
+        )
 
     def link_visibility(self, key: LinkKey) -> int:
         """Number of distinct VPs that observed the link."""
-        return len(self._link_vps.get(key, ()))
+        if self._legacy is not None:
+            return len(self._legacy.link_vps.get(key, ()))
+
+        def build() -> Dict[LinkKey, int]:
+            index = self._indices()
+            return dict(
+                zip(
+                    index.link_keys_list(),
+                    index.link_visibility_counts().tolist(),
+                )
+            )
+
+        return self._memoised("link_visibility", build).get(key, 0)
 
     def vps_seeing(self, key: LinkKey) -> FrozenSet[int]:
-        return frozenset(self._link_vps.get(key, ()))
+        if self._legacy is not None:
+            return frozenset(self._legacy.link_vps.get(key, ()))
+        return frozenset(self._indices().link_vps(key))
 
     def triplets(self) -> FrozenSet[Tuple[int, int, int]]:
         """All directed (left, middle, right) triplets."""
-        return frozenset(self._triplets)
+        if self._legacy is not None:
+            return frozenset(self._legacy.triplets)
+        return self._memoised(
+            "triplets", lambda: frozenset(self._indices().triplet_tuples())
+        )
 
     def has_triplet(self, left: int, middle: int, right: int) -> bool:
-        return (left, middle, right) in self._triplets
+        if self._legacy is not None:
+            return (left, middle, right) in self._legacy.triplets
+        return self._indices().has_triplet(left, middle, right)
 
     def transit_degree(self, asn: int) -> int:
         """CAIDA transit degree: unique neighbours adjacent to ``asn``
         in paths where ``asn`` appears in transit position."""
-        return len(self._transit_neighbors.get(asn, ()))
+        if self._legacy is not None:
+            return len(self._legacy.transit_neighbors.get(asn, ()))
+        return self._degree_maps()[0].get(asn, 0)
 
     def transit_degrees(self) -> Dict[int, int]:
-        degrees = {asn: 0 for asn in self._neighbors}
-        for asn, neighbors in self._transit_neighbors.items():
-            degrees[asn] = len(neighbors)
-        return degrees
+        if self._legacy is not None:
+            degrees = {asn: 0 for asn in self._legacy.neighbors}
+            for asn, neighbors in self._legacy.transit_neighbors.items():
+                degrees[asn] = len(neighbors)
+            return degrees
+        return dict(self._degree_maps()[0])
 
     def node_degree(self, asn: int) -> int:
         """Visible node degree (distinct neighbours in any path)."""
-        return len(self._neighbors.get(asn, ()))
+        if self._legacy is not None:
+            return len(self._legacy.neighbors.get(asn, ()))
+        return self._degree_maps()[1].get(asn, 0)
 
     def node_degrees(self) -> Dict[int, int]:
-        return {asn: len(neigh) for asn, neigh in self._neighbors.items()}
+        if self._legacy is not None:
+            return {
+                asn: len(neigh)
+                for asn, neigh in self._legacy.neighbors.items()
+            }
+        return dict(self._degree_maps()[1])
 
     def visible_ases(self) -> List[int]:
-        return sorted(self._neighbors.keys())
+        if self._legacy is not None:
+            return sorted(self._legacy.neighbors.keys())
+        return list(
+            self._memoised(
+                "ases", lambda: self._indices().visible_ases_sorted()
+            )
+        )
 
     def ases_left_of(self, key: LinkKey) -> FrozenSet[int]:
         """ASes that can observe the link (occur left of it) —
         Appendix C feature #6."""
-        return frozenset(self._left_of_link.get(key, ()))
+        if self._legacy is not None:
+            return frozenset(self._legacy.left_of_link.get(key, ()))
+        return frozenset(self._indices().left_of(key))
 
     def ases_right_of(self, key: LinkKey) -> FrozenSet[int]:
         """ASes that may receive traffic via the link (occur right of
         it) — Appendix C feature #7."""
-        return frozenset(self._right_of_link.get(key, ()))
+        if self._legacy is not None:
+            return frozenset(self._legacy.right_of_link.get(key, ()))
+        return frozenset(self._indices().right_of(key))
 
     def origins_via(self, key: LinkKey) -> FrozenSet[int]:
         """Origins whose routes were seen crossing the link —
         Appendix C features #4/#5 build on this."""
-        return frozenset(self._link_origins.get(key, ()))
+        if self._legacy is not None:
+            return frozenset(self._legacy.link_origins.get(key, ()))
+        return frozenset(self._indices().origins_via(key))
 
     def communities_of_route(self, index: int) -> Tuple[Community, ...]:
-        return self._communities.get(index, ())
+        return self._ensure_communities().get(index, ())
 
     def routes_with_communities(self) -> Iterator[CollectedRoute]:
         """Only the routes that still carry at least one community."""
+        self._materialise()
         for index in sorted(self._communities):
             path = self._paths[index]
             yield CollectedRoute(
@@ -206,14 +431,89 @@ class PathCorpus:
             )
 
     def stats(self) -> Dict[str, int]:
+        if self._legacy is not None:
+            return {
+                "n_routes": len(self._paths),
+                "n_vps": len(self._vp_set),
+                "n_visible_links": len(self._legacy.link_vps),
+                "n_visible_ases": len(self._legacy.neighbors),
+                "n_triplets": len(self._legacy.triplets),
+                "n_routes_with_communities": len(self._communities),
+            }
+        index = self._indices()
+        if self._communities is not None:
+            n_with_communities = len(self._communities)
+        else:
+            n_with_communities = self._columns.n_community_routes()
         return {
-            "n_routes": len(self._paths),
-            "n_vps": len(self._vp_set),
-            "n_visible_links": len(self._link_vps),
-            "n_visible_ases": len(self._neighbors),
-            "n_triplets": len(self._triplets),
-            "n_routes_with_communities": len(self._communities),
+            "n_routes": len(self),
+            "n_vps": len(self.vantage_points),
+            "n_visible_links": index.n_links,
+            "n_visible_ases": index.n_ases,
+            "n_triplets": index.n_triplets,
+            "n_routes_with_communities": n_with_communities,
         }
+
+    # ------------------------------------------------------------------
+    # inference hot-loop accessors
+    # ------------------------------------------------------------------
+    def triplet_continuations(self) -> Dict[Tuple[int, int], List[int]]:
+        """Triplets grouped by their leading directed pair:
+        ``(a, x) -> [b, ...]`` with each continuation list ascending."""
+        if self._legacy is not None:
+            continuations: Dict[Tuple[int, int], List[int]] = {}
+            for a, x, b in sorted(self._legacy.triplets):
+                continuations.setdefault((a, x), []).append(b)
+            return continuations
+        return self._indices().triplet_continuations()
+
+    def descending_seed_pairs(
+        self, clique: Iterable[int]
+    ) -> List[Tuple[int, int]]:
+        """Distinct directed pairs on the suffix of every path after its
+        first consecutive clique pair (ASRank's P2C seed evidence),
+        sorted ascending."""
+        if self._legacy is not None:
+            clique_set = set(clique)
+            seeds: Set[Tuple[int, int]] = set()
+            for path in self._paths:
+                for i in range(len(path) - 1):
+                    if path[i] in clique_set and path[i + 1] in clique_set:
+                        for j in range(i + 1, len(path) - 1):
+                            seeds.add((path[j], path[j + 1]))
+                        break
+            return sorted(seeds)
+        return self._indices().descending_seed_pairs(clique)
+
+    def apparent_providers(
+        self, clique: Iterable[int]
+    ) -> Dict[int, Set[int]]:
+        """For each tentative clique member: ASes observed as its
+        provider (the transit-free refinement's evidence — see
+        :func:`repro.inference.base.infer_clique`)."""
+        clique_set = set(clique)
+        providers: Dict[int, Set[int]] = {asn: set() for asn in clique_set}
+        if self._legacy is not None:
+            for path in self._paths:
+                apex_crossed_at = None
+                for i in range(len(path) - 1):
+                    if path[i] in clique_set and path[i + 1] in clique_set:
+                        apex_crossed_at = i
+                        break
+                if apex_crossed_at is None:
+                    continue
+                for j in range(apex_crossed_at + 2, len(path)):
+                    asn = path[j]
+                    if asn in clique_set:
+                        upstream = path[j - 1]
+                        if upstream not in clique_set:
+                            providers[asn].add(upstream)
+            return providers
+        for member, upstream in self._indices().apparent_provider_pairs(
+            clique_set
+        ):
+            providers[member].add(upstream)
+        return providers
 
 
 def filter_by_vps(corpus: PathCorpus, vps: Set[int]) -> PathCorpus:
@@ -221,10 +521,44 @@ def filter_by_vps(corpus: PathCorpus, vps: Set[int]) -> PathCorpus:
 
     TopoScope's bootstrapping partitions the VP set into groups and runs
     the base inference per group; this helper materialises each group's
-    view of the world.
+    view of the world.  On a columnar corpus the sub-corpus is sliced
+    directly out of the CSR columns — no per-route Python loop.
     """
-    sub = PathCorpus()
-    for route in corpus.routes():
-        if route.vp in vps:
-            sub.add_route(route)
-    return sub
+    if corpus.layout != "columnar":
+        sub = PathCorpus(layout=corpus.layout)
+        for route in corpus.routes():
+            if route.vp in vps:
+                sub.add_route(route)
+        return sub
+    from repro.pipeline.columnar import CorpusColumns
+
+    cols = corpus.columns()
+    vp_list = sorted(v for v in vps if 0 <= v <= 0xFFFFFFFF)
+    vp_arr = np.fromiter(vp_list, dtype=np.uint32, count=len(vp_list))
+    keep = np.isin(cols.vp_column(), vp_arr)
+    keep_routes = np.flatnonzero(keep)
+    lengths = cols.lengths()
+    new_lengths = lengths[keep_routes]
+    new_offsets = np.zeros(len(keep_routes) + 1, dtype=np.int64)
+    np.cumsum(new_lengths, out=new_offsets[1:])
+    new_hops = np.ascontiguousarray(cols.hops[np.repeat(keep, lengths)])
+    if len(cols.comm_route):
+        comm_keep = np.isin(cols.comm_route, keep_routes)
+        new_comm_route = np.searchsorted(
+            keep_routes, cols.comm_route[comm_keep]
+        ).astype(np.int64)
+        new_comm_owner = np.ascontiguousarray(cols.comm_owner[comm_keep])
+        new_comm_value = np.ascontiguousarray(cols.comm_value[comm_keep])
+    else:
+        new_comm_route = np.empty(0, dtype=np.int64)
+        new_comm_owner = np.empty(0, dtype=np.uint32)
+        new_comm_value = np.empty(0, dtype=np.int64)
+    return PathCorpus.from_columns(
+        CorpusColumns(
+            hops=new_hops,
+            offsets=new_offsets,
+            comm_route=new_comm_route,
+            comm_owner=new_comm_owner,
+            comm_value=new_comm_value,
+        )
+    )

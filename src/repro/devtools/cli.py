@@ -52,8 +52,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ignore", default=None, metavar="IDS",
                         help="comma-separated rule ids to skip")
     parser.add_argument("--dep-allow", default=None, metavar="NAMES",
-                        help="extra import roots DEP001 accepts "
-                             "(comma-separated)")
+                        help="extra imports DEP001 accepts, bare roots "
+                             "or dotted submodules (comma-separated)")
     parser.add_argument("--verbose", action="store_true", default=False,
                         help="also show baselined findings (text format)")
     parser.add_argument("--list-rules", action="store_true", default=False,

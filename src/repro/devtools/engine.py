@@ -56,9 +56,13 @@ class LintConfig:
     det003_contexts: Tuple[str, ...] = ("key", "fingerprint", "digest")
     #: Import roots considered first-party for DEP001.
     first_party: Tuple[str, ...] = ("repro",)
-    #: Third-party import roots the project declares (DEP001).
-    allowed_imports: Tuple[str, ...] = ("numpy",)
-    #: Extra allowed import roots (CLI ``--dep-allow``).
+    #: Third-party imports the project declares (DEP001).  Entries may
+    #: be bare roots ("numpy" admits the whole tree) or dotted
+    #: submodules ("numpy.lib.format" admits exactly that subtree —
+    #: listed explicitly because the columnar cache artifacts lean on
+    #: its stable on-disk conventions).
+    allowed_imports: Tuple[str, ...] = ("numpy", "numpy.lib.format")
+    #: Extra allowed imports (CLI ``--dep-allow``; roots or dotted).
     extra_allowed_imports: Tuple[str, ...] = ()
 
 

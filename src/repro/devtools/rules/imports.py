@@ -28,6 +28,22 @@ def _stdlib_names() -> frozenset:
 _STDLIB = _stdlib_names()
 
 
+def _module_allowed(name: str, allowed: frozenset) -> bool:
+    """True when the dotted module ``name`` or any ancestor package of
+    it appears in ``allowed``.
+
+    A bare root entry (``"numpy"``) therefore whitelists the whole
+    tree, while a dotted entry (``"numpy.lib.format"``) whitelists
+    exactly one subtree — so a config can admit a single submodule of
+    an otherwise undeclared package.
+    """
+    parts = name.split(".")
+    for end in range(1, len(parts) + 1):
+        if ".".join(parts[:end]) in allowed:
+            return True
+    return False
+
+
 @register
 class UndeclaredDependencyRule(Rule):
     """DEP001 — imports must stay inside the declared dependency set."""
@@ -53,15 +69,15 @@ class UndeclaredDependencyRule(Rule):
     def visit(self, node: ast.AST, ctx, walker) -> None:
         allowed = self._allowed(ctx)
         if isinstance(node, ast.Import):
-            roots = [alias.name.split(".")[0] for alias in node.names]
+            modules = [alias.name for alias in node.names]
         else:  # ImportFrom
             if node.level > 0 or node.module is None:
                 return  # relative imports are first-party by definition
-            roots = [node.module.split(".")[0]]
-        for root in roots:
-            if root not in allowed:
+            modules = [node.module]
+        for module in modules:
+            if not _module_allowed(module, allowed):
                 ctx.report(self, node,
-                           f"import of `{root}` is outside the declared "
+                           f"import of `{module}` is outside the declared "
                            "dependency set (stdlib + "
                            f"{', '.join(sorted(ctx.config.allowed_imports))}"
                            ")")

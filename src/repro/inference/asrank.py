@@ -95,10 +95,11 @@ class ASRank(InferenceAlgorithm):
     ) -> Set[Tuple[int, int]]:
         """All directed pairs ``(provider, customer)`` with descending
         evidence, computed to a fixpoint over triplets."""
-        # Index triplets by their leading directed pair.
-        continuations: Dict[Tuple[int, int], List[int]] = {}
-        for a, x, b in corpus.triplets():
-            continuations.setdefault((a, x), []).append(b)
+        # Triplets indexed by their leading directed pair — a single
+        # vectorized pass on a columnar corpus.
+        continuations: Dict[Tuple[int, int], List[int]] = (
+            corpus.triplet_continuations()
+        )
         descending: Set[Tuple[int, int]] = set()
         worklist: List[Tuple[int, int]] = []
 
@@ -109,12 +110,8 @@ class ASRank(InferenceAlgorithm):
 
         # Seeds: the suffix of every path after its first consecutive
         # clique pair descends.
-        for path in corpus.paths():
-            for i in range(len(path) - 1):
-                if path[i] in clique and path[i + 1] in clique:
-                    for j in range(i + 1, len(path) - 1):
-                        mark((path[j], path[j + 1]))
-                    break
+        for pair in corpus.descending_seed_pairs(clique):
+            mark(pair)
         # Fixpoint: descending evidence flows through triplets.
         def drain() -> None:
             while worklist:

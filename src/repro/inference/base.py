@@ -115,24 +115,11 @@ def _apparent_providers(
 
     Evidence: a path crosses a link between two *other* tentative clique
     members (an apex) and later enters the member — the AS immediately
-    before it then provides transit to it.
+    before it then provides transit to it.  Thin wrapper over
+    :meth:`~repro.datasets.paths.PathCorpus.apparent_providers`, which
+    runs as one vectorized scan on a columnar corpus.
     """
-    providers: Dict[int, Set[int]] = {asn: set() for asn in clique}
-    for path in corpus.paths():
-        apex_crossed_at = None
-        for i in range(len(path) - 1):
-            if path[i] in clique and path[i + 1] in clique:
-                apex_crossed_at = i
-                break
-        if apex_crossed_at is None:
-            continue
-        for j in range(apex_crossed_at + 2, len(path)):
-            asn = path[j]
-            if asn in clique:
-                upstream = path[j - 1]
-                if upstream not in clique:
-                    providers[asn].add(upstream)
-    return providers
+    return corpus.apparent_providers(clique)
 
 
 def transit_degree_rank(corpus: PathCorpus) -> Dict[int, int]:

@@ -11,7 +11,7 @@ entries keyed by a content address:
 Layout (one directory per scenario key under the cache root)::
 
     <root>/<key>/meta.json              fingerprint provenance + version
-    <root>/<key>/corpus.paths           bgpdump-style path corpus
+    <root>/<key>/corpus.npc             binary columnar path corpus
     <root>/<key>/rels-<algorithm>.asrel CAIDA serial-1 as-rel file
     <root>/<key>/validation-<policy>.txt cleaned validation set
     <root>/.locks/<key>.lock            advisory per-entry writer lock
@@ -30,7 +30,7 @@ Invalidation rules
 * **Corruption**: every load parses defensively; an unreadable artifact
   is deleted and reported as a miss, so a corrupted cache can only cost
   a recompute, never an error or a wrong result.
-* **Eviction**: none automatic — entries are small text files; the
+* **Eviction**: none automatic — entries are small files; the
   ``repro cache clear`` subcommand wipes the root on demand.
 
 Concurrency and crash safety
@@ -65,10 +65,15 @@ flows through the :class:`~repro.pipeline.fsops.CacheFilesystem` seam
 so :mod:`repro.testing.faults` can prove the guarantee by injecting
 every fault deterministically.
 
-All artifacts round-trip through the existing dataset serialisers
-(:mod:`repro.datasets.bgpdump`, :mod:`repro.datasets.asrel`,
-:mod:`repro.datasets.validationset`), so a cache entry doubles as a
-human-readable export of the scenario.
+The relationship and validation artifacts round-trip through the
+existing text serialisers (:mod:`repro.datasets.asrel`,
+:mod:`repro.datasets.validationset`), so those entries double as
+human-readable exports.  The corpus — by far the largest artifact —
+uses the compact binary section format of
+:mod:`repro.pipeline.columnar` instead and is **memory-mapped** on warm
+reads: a warm ``build_scenario`` adopts the on-disk columns directly
+and never materialises per-route Python tuples unless a consumer
+iterates routes.
 """
 
 from __future__ import annotations
@@ -81,8 +86,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.datasets.asrel import RelationshipSet, read_asrel, write_asrel
-from repro.datasets.bgpdump import read_path_corpus, write_path_corpus
 from repro.datasets.paths import PathCorpus
+from repro.pipeline.columnar import read_corpus_columns, write_corpus_columns
 from repro.datasets.validationset import read_validation_set, write_validation_set
 from repro.pipeline.fsops import CacheFilesystem
 from repro.pipeline.locks import LOCK_DIR_NAME, EntryLock, is_locked
@@ -93,10 +98,10 @@ if TYPE_CHECKING:
 
 #: Bump when a pipeline change alters any cached artifact's content
 #: without touching the library version (invalidates every entry).
-PIPELINE_CACHE_VERSION = "1"
+PIPELINE_CACHE_VERSION = "2"
 
 _META_FILE = "meta.json"
-_CORPUS_FILE = "corpus.paths"
+_CORPUS_FILE = "corpus.npc"
 _TMP_SUFFIX = ".tmp"
 
 #: Per-process monotonic sequence making concurrent same-key writers'
@@ -118,6 +123,11 @@ def default_cache_root() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro"
+
+
+def _read_corpus_artifact(path: Path) -> PathCorpus:
+    """Reader for the binary corpus artifact (sections memory-mapped)."""
+    return PathCorpus.from_columns(read_corpus_columns(path))
 
 
 def _code_version() -> str:
@@ -290,14 +300,17 @@ class ArtifactCache:
     # artifact load/store
     # ------------------------------------------------------------------
     def load_corpus(self, key: str) -> Optional[PathCorpus]:
-        return self._load(key, _CORPUS_FILE, read_path_corpus)
+        """A corpus wrapped around memory-mapped on-disk columns."""
+        return self._load(key, _CORPUS_FILE, _read_corpus_artifact)
 
     def store_corpus(
         self, key: str, corpus: PathCorpus, config: "ScenarioConfig"
     ) -> Path:
         self._write_meta(key, config)
         path = self._entry_dir(key) / _CORPUS_FILE
-        self._publish_file(path, lambda tmp: write_path_corpus(corpus, tmp))
+        self._publish_file(
+            path, lambda tmp: write_corpus_columns(corpus.columns(), tmp)
+        )
         return path
 
     def load_rels(self, key: str, algorithm: str) -> Optional[RelationshipSet]:

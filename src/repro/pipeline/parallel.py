@@ -88,10 +88,11 @@ def _init_collect_worker(
     _WORKER_STATE["strippers"] = strippers
 
 
-def _collect_chunk(origins: Sequence[int]) -> List[Any]:
+def _collect_chunk(origins: Sequence[int]) -> Any:
     # Imported here (not at module top) so that worker processes under
     # the ``spawn`` start method import the minimal closure they need.
     from repro.bgp.collectors import routes_for_origin
+    from repro.pipeline.columnar import pack_route_slab
 
     adjacency = _WORKER_STATE["adjacency"]
     vantage_points = _WORKER_STATE["vantage_points"]
@@ -103,22 +104,29 @@ def _collect_chunk(origins: Sequence[int]) -> List[Any]:
         routes.extend(
             routes_for_origin(tree, vantage_points, communities, strippers)
         )
-    return routes
+    # Ship the chunk as an array slab: five contiguous buffers pickle in
+    # O(bytes) instead of one object graph per route, and the parent
+    # unpacks into routes identical to what the serial loop builds.
+    return pack_route_slab(routes)
 
 
 def _run_chunked(
-    worker_fn: Callable[[Sequence[int]], List[Any]],
+    worker_fn: Callable[[Sequence[int]], Any],
     initializer: Callable[..., None],
     initargs: tuple,
     origins: Sequence[int],
     workers: int,
     chunk_size: Optional[int],
+    unpack: Optional[Callable[[Any], List[Any]]] = None,
 ) -> Iterator[Any]:
     """Submit origin chunks to a fresh pool; yield results in order.
 
     Futures are drained in submission order, which gives the
     deterministic origin-major merge the differential tests rely on —
     whatever order the workers *finish* in is invisible to the caller.
+    ``unpack`` decodes one chunk payload into its element list (used by
+    the slab-shipping collection path); without it the payload is
+    assumed to already be a list.
     """
     chunks = _chunk(origins, workers, chunk_size)
     with ProcessPoolExecutor(
@@ -126,7 +134,8 @@ def _run_chunked(
     ) as pool:
         futures = [pool.submit(worker_fn, chunk) for chunk in chunks]
         for future in futures:
-            yield from future.result()
+            payload = future.result()
+            yield from unpack(payload) if unpack is not None else payload
 
 
 class ParallelPropagator:
@@ -187,11 +196,14 @@ class ParallelPropagator:
         exact order the serial :class:`~repro.bgp.collectors.RouteCollector`
         records them (origin-major, vantage-point order within).
 
-        The per-origin tree is built *and reduced to VP paths inside the
-        worker*, so only the small route tuples cross the process
-        boundary — route trees never do.
+        The per-origin tree is built *and reduced to VP paths inside
+        the worker*, and each chunk's routes cross the process boundary
+        as one packed :class:`~repro.pipeline.columnar.RouteSlab` (flat
+        numpy buffers) instead of a list of per-route tuple graphs —
+        route trees never travel at all.
         """
         from repro.bgp.collectors import routes_for_origin
+        from repro.pipeline.columnar import unpack_route_slab
 
         origin_list = list(origins) if origins is not None else list(self.adjacency.asns)
         if self.workers == 0 or len(origin_list) <= 1:
@@ -208,4 +220,5 @@ class ParallelPropagator:
             origin_list,
             self.workers,
             self.chunk_size,
+            unpack=unpack_route_slab,
         )

@@ -168,6 +168,15 @@ class Scenario:
         orgs = self.topology.orgs
         return [key for key in links if not orgs.are_siblings(*key)]
 
+    def corpus_stats(self) -> Dict[str, object]:
+        """Corpus counters, intern-table sizes, and columnar memory
+        footprint in the shared service JSON shape (``repro corpus
+        stats``, ``BENCH_substrate.json``)."""
+        # Deferred: repro.service.query imports this module.
+        from repro.service.query import corpus_stats_payload
+
+        return corpus_stats_payload(self.corpus)
+
     def regional_classifier(self) -> RegionalClassifier:
         if self._regional is None:
             self._regional = RegionalClassifier(self.topology.region_map)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.casestudy import CaseStudyResult
+from repro.datasets.paths import PathCorpus
 from repro.scenario import ALGORITHM_NAMES, Scenario
 from repro.topology.graph import LinkKey, RelType, link_key
 
@@ -172,3 +173,27 @@ def casestudy_payload(result: CaseStudyResult) -> Dict[str, Any]:
             1 for target in result.targets if target.has_clique_triplet
         ),
     }
+
+
+def corpus_stats_payload(corpus: "PathCorpus") -> Dict[str, Any]:
+    """Corpus counters, intern-table sizes, and memory footprint.
+
+    One serialisation shared by ``repro corpus stats``, the substrate
+    benchmarks' ``BENCH_substrate.json``, and service consumers — so a
+    corpus is always described by the same JSON shape.
+    """
+    payload: Dict[str, Any] = {
+        "stats": corpus.stats(),
+        "memory": corpus.memory_report(),
+    }
+    index = corpus.columnar_index()
+    if index is not None:
+        payload["intern_tables"] = {
+            "n_links": index.n_links,
+            "n_ases": index.n_ases,
+            "n_triplets": index.n_triplets,
+            "n_link_vp_pairs": index.n_link_vp_pairs,
+        }
+    else:
+        payload["intern_tables"] = {}
+    return payload

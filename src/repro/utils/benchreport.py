@@ -1,0 +1,68 @@
+"""Machine-readable benchmark reports (``BENCH_substrate.json``).
+
+The substrate benchmarks record their per-test medians into one JSON
+document so CI can archive the numbers next to the logs and successive
+runs can be diffed mechanically.  Partial runs *merge* into an existing
+report instead of clobbering it: each benchmark owns one key under
+``benchmarks``, and top-level extras (e.g. the corpus memory footprint)
+are replaced wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+#: Bumped whenever the report layout changes shape.
+BENCH_SCHEMA_VERSION = 1
+
+
+def load_bench_report(path: str) -> Dict[str, Any]:
+    """The existing report at ``path``, or a fresh skeleton.
+
+    Corrupt or foreign files are treated as absent — a benchmark run
+    must never fail because a previous run crashed mid-write.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {}
+    if not isinstance(report, dict) or not isinstance(
+        report.get("benchmarks"), dict
+    ):
+        report = {}
+    report.setdefault("schema", BENCH_SCHEMA_VERSION)
+    report.setdefault("benchmarks", {})
+    return report
+
+
+def merge_bench_report(
+    path: str,
+    benchmarks: Dict[str, Dict[str, Any]],
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Merge ``benchmarks`` (and top-level ``extra`` keys) into the
+    report at ``path``, write it back atomically, and return it."""
+    report = load_bench_report(path)
+    report["schema"] = BENCH_SCHEMA_VERSION
+    report["benchmarks"].update(benchmarks)
+    for key, value in (extra or {}).items():
+        report[key] = value
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".bench.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return report

@@ -134,6 +134,56 @@ class TestPartialTransit:
         assert tree.has_route(30)
 
 
+class TestPathFromEdgeCases:
+    """Contract of :meth:`RouteTree.path_from`, which the columnar
+    corpus builder (and the collectors feeding it) relies on."""
+
+    def test_origin_itself_is_singleton_path(self, adjacency, tiny_graph):
+        # Holds for every origin, not just the stub of the basic tests.
+        for origin in tiny_graph.asns():
+            tree = compute_route_tree(adjacency, origin)
+            assert tree.path_from(origin) == (origin,)
+            assert tree.restricted[origin] is False
+
+    def test_unrouted_as_returns_none(self, adjacency):
+        # The partial-transit origin 350 never reaches 10's peer side.
+        tree = compute_route_tree(adjacency, 350)
+        for unrouted in (20, 40, 200):
+            assert not tree.has_route(unrouted)
+            assert tree.path_from(unrouted) is None
+
+    def test_unknown_asn_returns_none(self, adjacency):
+        tree = compute_route_tree(adjacency, 100)
+        assert tree.path_from(999999) is None
+
+    def test_restricted_partial_transit_paths(self, adjacency):
+        # 10 holds the 350 route as restricted (partial transit): its
+        # customers still get full paths through it, while the path
+        # ends (None) everywhere the restricted route may not travel.
+        tree = compute_route_tree(adjacency, 350)
+        assert tree.restricted[10] is True
+        assert tree.path_from(10) == (10, 35, 350)
+        assert tree.path_from(30) == (30, 10, 35, 350)
+        assert tree.path_from(100) == (100, 30, 10, 35, 350)
+        assert tree.path_from(20) is None
+        # Downstream holders of the re-exported route are themselves
+        # unrestricted: from 30 on, it is an ordinary customer route.
+        assert tree.restricted[30] is False
+
+    def test_path_consistent_with_parent_pointers(self, adjacency, tiny_graph):
+        tree = compute_route_tree(adjacency, 300)
+        for asn in tiny_graph.asns():
+            path = tree.path_from(asn)
+            if path is None:
+                continue
+            # Walking parent pointers reproduces the returned tuple.
+            walked = [asn]
+            while tree.parent[walked[-1]] is not None:
+                walked.append(tree.parent[walked[-1]])
+            assert tuple(walked) == path
+            assert path[-1] == 300
+
+
 class TestTieBreaking:
     def test_multihomed_stub_shortest_then_lowest(self, adjacency):
         # 300 buys from 30 and 40; from 100's perspective the route via

@@ -90,6 +90,37 @@ def test_dep001_extra_allowed_imports(tmp_path):
     assert lax.findings == []
 
 
+def test_dep001_dotted_allowlist_entries(tmp_path):
+    """A dotted entry admits exactly one subtree, not its siblings."""
+    target = tmp_path / "uses_submodule.py"
+    target.write_text(
+        "from scipy.sparse import csr_matrix\n"
+        "from scipy.stats import norm\n"
+        "import scipy.sparse.linalg\n",
+        encoding="utf-8",
+    )
+    strict = run_lint([target], LintConfig(select=["DEP001"]))
+    assert len(strict.findings) == 3
+    lax = run_lint(
+        [target],
+        LintConfig(
+            select=["DEP001"], extra_allowed_imports=("scipy.sparse",)
+        ),
+    )
+    # scipy.sparse and anything below it pass; scipy.stats still fails.
+    assert [f.rule_id for f in lax.findings] == ["DEP001"]
+    assert "scipy.stats" in lax.findings[0].message
+
+
+def test_dep001_numpy_lib_format_declared(tmp_path):
+    """The default config admits numpy.lib.format (cache artifacts)."""
+    target = tmp_path / "uses_npy_format.py"
+    target.write_text(
+        "from numpy.lib.format import open_memmap\n", encoding="utf-8"
+    )
+    assert run_lint([target], LintConfig(select=["DEP001"])).findings == []
+
+
 def test_syntax_error_reported_as_finding(tmp_path):
     broken = tmp_path / "broken.py"
     broken.write_text("def oops(:\n", encoding="utf-8")

@@ -168,7 +168,7 @@ class TestInvalidation:
         cache = ArtifactCache(root=tmp_path)
         key = cache.scenario_key(scenario.config)
         cache.store_corpus(key, scenario.corpus, scenario.config)
-        corpus_path = tmp_path / key / "corpus.paths"
+        corpus_path = tmp_path / key / "corpus.npc"
         corpus_path.write_text("@@ definitely not a path corpus @@\n",
                                encoding="utf-8")
         assert cache.load_corpus(key) is None
@@ -258,7 +258,7 @@ class TestMaintenance:
         assert [r["key"] for r in records] == [key]
         assert records[0]["seed"] == scenario.config.seed
         assert records[0]["n_ases"] == scenario.config.topology.n_ases
-        assert "corpus.paths" in records[0]["files"]
+        assert "corpus.npc" in records[0]["files"]
         assert cache.total_size() > 0
         assert cache.clear() == 1
         assert cache.entries() == []
@@ -329,7 +329,7 @@ class TestCrashSafetyRegressions:
         cache = ArtifactCache(root=tmp_path)
         key = cache.scenario_key(scenario.config)
         cache.store_corpus(key, scenario.corpus, scenario.config)
-        (tmp_path / key / "corpus.paths.9999.0.tmp").write_text("torn")
+        (tmp_path / key / "corpus.npc.9999.0.tmp").write_text("torn")
         with cache.entry_lock(key):
             (record,) = cache.entries()
             assert record["locked"] is True

@@ -139,7 +139,7 @@ class TestFaultMatrix:
             cache.store_corpus(key, corpus, config)
         (record,) = ArtifactCache(root=tmp_path).entries()
         assert record["stragglers"] == 1
-        assert "corpus.paths" not in record["files"]  # half-writes unpublished
+        assert "corpus.npc" not in record["files"]  # half-writes unpublished
 
     def test_seeded_fault_plan_is_deterministic(self):
         assert seeded_fault_plan(42, n_faults=5) == seeded_fault_plan(

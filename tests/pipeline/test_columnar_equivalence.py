@@ -1,0 +1,91 @@
+"""Columnar vs legacy byte-equality matrix.
+
+The columnar engine's hard invariant is that it changes *nothing* about
+the science: over several seeds, every inference algorithm must emit a
+byte-identical as-rel serialisation whether the corpus is columnar
+(default) or legacy (`REPRO_CORPUS_LAYOUT=legacy`-style dict indices),
+and the cache artifact written for either layout must be the same file,
+bit for bit.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.bgp.collectors import collect_corpus
+from repro.config import ScenarioConfig
+from repro.datasets.asrel import write_asrel
+from repro.datasets.paths import PathCorpus
+from repro.inference.asrank import ASRank
+from repro.inference.problink import ProbLink
+from repro.inference.toposcope import TopoScope
+from repro.pipeline.cache import ArtifactCache
+from repro.topology.generator import generate_topology
+
+SEEDS = (3, 5, 11)
+
+_ALGORITHMS = {
+    "asrank": ASRank,
+    "problink": ProbLink,
+    "toposcope": TopoScope,
+}
+
+
+def _config(seed: int) -> ScenarioConfig:
+    config = ScenarioConfig.default().replace(seed=seed)
+    config.topology.n_ases = 150
+    config.measurement.n_vantage_points = 20
+    config.measurement.n_churn_rounds = 1
+    return config
+
+
+@pytest.fixture(scope="module", params=SEEDS, ids=lambda s: f"seed{s}")
+def corpora(request):
+    """(config, columnar corpus, legacy corpus) with identical routes."""
+    config = _config(request.param)
+    topology = generate_topology(config)
+    columnar, _, _, _ = collect_corpus(topology, config)
+    assert columnar.columnar_index() is not None
+    legacy = PathCorpus(layout="legacy")
+    legacy.add_routes(columnar.routes())
+    assert legacy.columnar_index() is None
+    assert len(legacy) == len(columnar)
+    return config, columnar, legacy
+
+
+def _asrel_bytes(rels, path) -> bytes:
+    write_asrel(rels, path)
+    return path.read_bytes()
+
+
+@pytest.mark.parametrize("algorithm", sorted(_ALGORITHMS))
+def test_identical_relationships(corpora, algorithm, tmp_path):
+    _, columnar, legacy = corpora
+    factory = _ALGORITHMS[algorithm]
+    from_columnar = _asrel_bytes(
+        factory().infer(columnar), tmp_path / "columnar.asrel"
+    )
+    from_legacy = _asrel_bytes(
+        factory().infer(legacy), tmp_path / "legacy.asrel"
+    )
+    assert from_columnar == from_legacy
+
+
+def test_identical_cache_artifact_fingerprints(corpora, tmp_path):
+    config, columnar, legacy = corpora
+    cache_a = ArtifactCache(root=tmp_path / "a")
+    cache_b = ArtifactCache(root=tmp_path / "b")
+    key = cache_a.scenario_key(config)
+    assert cache_b.scenario_key(config) == key
+    artifact_a = cache_a.store_corpus(key, columnar, config)
+    artifact_b = cache_b.store_corpus(key, legacy, config)
+    digest_a = hashlib.sha256(artifact_a.read_bytes()).hexdigest()
+    digest_b = hashlib.sha256(artifact_b.read_bytes()).hexdigest()
+    assert digest_a == digest_b
+    # The memory-mapped reload of that artifact serves the same corpus.
+    reloaded = cache_a.load_corpus(key)
+    assert reloaded is not None
+    assert reloaded.stats() == columnar.stats()
+    assert sorted(reloaded.visible_links()) == sorted(
+        columnar.visible_links()
+    )

@@ -93,7 +93,7 @@ def test_cache_list_surfaces_locks_and_stragglers(tmp_path, capsys):
     rels.set_p2c(10, 20)
     key = cache.scenario_key(config)
     cache.store_rels(key, "asrank", rels, config)
-    (tmp_path / key / "corpus.paths.4242.0.tmp").write_text("torn write")
+    (tmp_path / key / "corpus.npc.4242.0.tmp").write_text("torn write")
 
     with cache.entry_lock(key):
         rc = cli.main(
@@ -173,3 +173,44 @@ def test_serve_subprocess_smoke():
     finally:
         proc.send_signal(signal.SIGTERM)
         assert proc.wait(timeout=60) == 0
+
+
+# ---------------------------------------------------------------------------
+# repro corpus stats
+# ---------------------------------------------------------------------------
+
+def test_corpus_stats_json(capsys):
+    rc = cli.main([
+        "corpus", "stats", "--json", "--ases", "150", "--vps", "15",
+        "--seed", "7", "--churn-rounds", "0",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    stats = payload["stats"]
+    assert stats["n_routes"] > 0
+    assert 0 < stats["n_vps"] <= 15
+    # Intern-table sizes agree with the corpus counters.
+    intern = payload["intern_tables"]
+    assert intern["n_links"] == stats["n_visible_links"]
+    assert intern["n_ases"] == stats["n_visible_ases"]
+    assert intern["n_triplets"] == stats["n_triplets"]
+    assert intern["n_link_vp_pairs"] >= intern["n_links"]
+    memory = payload["memory"]
+    assert memory["layout"] == "columnar"
+    assert memory["total_bytes"] > 0
+    assert memory["total_bytes"] == (
+        sum(memory["columns_bytes"].values())
+        + sum(memory["index_bytes"].values())
+    )
+
+
+def test_corpus_stats_text(capsys):
+    rc = cli.main([
+        "corpus", "stats", "--ases", "150", "--vps", "15",
+        "--seed", "7", "--churn-rounds", "0",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "visible links" in out
+    assert "layout: columnar" in out
+    assert "columnar memory" in out

@@ -1,0 +1,60 @@
+"""Tests for the benchmark report writer (BENCH_substrate.json)."""
+
+import json
+
+from repro.utils.benchreport import (
+    BENCH_SCHEMA_VERSION,
+    load_bench_report,
+    merge_bench_report,
+)
+
+
+def test_fresh_report_written_with_schema(tmp_path):
+    path = tmp_path / "BENCH_substrate.json"
+    report = merge_bench_report(
+        str(path), {"corpus_indexing": {"median_seconds": 0.05}}
+    )
+    assert report["schema"] == BENCH_SCHEMA_VERSION
+    on_disk = json.loads(path.read_text(encoding="utf-8"))
+    assert on_disk == report
+    assert on_disk["benchmarks"]["corpus_indexing"]["median_seconds"] == 0.05
+    # The file ends with a newline and is byte-stable across rewrites.
+    first = path.read_bytes()
+    merge_bench_report(
+        str(path), {"corpus_indexing": {"median_seconds": 0.05}}
+    )
+    assert path.read_bytes() == first
+    assert first.endswith(b"\n")
+
+
+def test_partial_runs_merge_instead_of_clobbering(tmp_path):
+    path = tmp_path / "BENCH_substrate.json"
+    merge_bench_report(str(path), {"a": {"median_seconds": 1.0}})
+    merge_bench_report(
+        str(path),
+        {"b": {"median_seconds": 2.0}},
+        extra={"corpus": {"total_bytes": 123}},
+    )
+    report = load_bench_report(str(path))
+    assert set(report["benchmarks"]) == {"a", "b"}
+    assert report["corpus"] == {"total_bytes": 123}
+    # Re-recording a benchmark replaces only its own entry.
+    merge_bench_report(str(path), {"a": {"median_seconds": 0.5}})
+    report = load_bench_report(str(path))
+    assert report["benchmarks"]["a"]["median_seconds"] == 0.5
+    assert report["benchmarks"]["b"]["median_seconds"] == 2.0
+
+
+def test_corrupt_or_foreign_file_treated_as_absent(tmp_path):
+    path = tmp_path / "BENCH_substrate.json"
+    path.write_text("{not json", encoding="utf-8")
+    report = merge_bench_report(str(path), {"a": {"median_seconds": 1.0}})
+    assert report["benchmarks"] == {"a": {"median_seconds": 1.0}}
+    path.write_text(json.dumps(["wrong", "shape"]), encoding="utf-8")
+    assert load_bench_report(str(path))["benchmarks"] == {}
+
+
+def test_missing_output_directory_is_created(tmp_path):
+    path = tmp_path / "nested" / "dir" / "BENCH_substrate.json"
+    merge_bench_report(str(path), {"a": {"median_seconds": 1.0}})
+    assert path.is_file()

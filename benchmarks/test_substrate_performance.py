@@ -26,7 +26,11 @@ import pytest
 from repro import ScenarioConfig, build_scenario
 from repro.bgp.collectors import collect_corpus
 from repro.bgp.policy import AdjacencyIndex
-from repro.bgp.propagation import compute_route_tree
+from repro.bgp.propagation import (
+    _compute_route_tree_legacy,
+    compute_route_tree,
+    plane_of,
+)
 from repro.datasets.paths import PathCorpus
 from repro.inference.asrank import ASRank
 from repro.pipeline.cache import ArtifactCache
@@ -107,6 +111,84 @@ def test_perf_asrank_inference(paper, benchmark):
     assert len(rels) == len(paper.corpus.visible_links())
     _record("asrank_inference", benchmark)
     _EXTRA["corpus"] = corpus_stats_payload(paper.corpus)
+
+
+#: The propagation scale sweep.  The 10k case always runs (and lands in
+#: the CI bench artifact); the 50k/100k cases take minutes of topology
+#: generation, so they are opt-in via ``REPRO_BENCH_SCALE=full``.
+SCALE_SWEEP = (10_000, 50_000, 100_000)
+
+
+@pytest.mark.parametrize("n_ases", SCALE_SWEEP)
+def test_perf_propagation_scale_sweep(benchmark, n_ases):
+    """Vectorized frontier propagation at 10k/50k/100k ASes.
+
+    Records, per scale: topology generation time, the one-time CSR
+    plane build, and the per-origin propagation cost over a 20-origin
+    sample — the numbers that show the engine holds up at real
+    Internet size, not just paper scale.
+    """
+    from repro.topology.generator import generate_topology
+
+    if n_ases > 10_000 and os.environ.get("REPRO_BENCH_SCALE") != "full":
+        pytest.skip("set REPRO_BENCH_SCALE=full to run the 50k/100k sweep")
+    config = ScenarioConfig.default()
+    config.topology.n_ases = n_ases
+    start = time.perf_counter()
+    topology = generate_topology(config)
+    gen_seconds = time.perf_counter() - start
+    adjacency = AdjacencyIndex(topology.graph)
+    start = time.perf_counter()
+    plane = plane_of(adjacency)
+    plane_seconds = time.perf_counter() - start
+    origins = adjacency.asns[:20]
+
+    def run():
+        for origin in origins:
+            plane.propagate(origin)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    per_origin_ms = benchmark.stats.stats.median / len(origins) * 1000.0
+    _record(
+        f"propagation_scale_{n_ases}",
+        benchmark,
+        n_ases=n_ases,
+        n_links=int(topology.graph.stats()["n_links"]),
+        gen_seconds=gen_seconds,
+        plane_build_seconds=plane_seconds,
+        per_origin_ms=per_origin_ms,
+    )
+
+
+def test_perf_engine_comparison_paper_scale(paper, benchmark):
+    """The vectorized engine must beat the legacy dict engine at paper
+    scale — the acceptance bar for shipping it as the default."""
+    adjacency = AdjacencyIndex(paper.topology.graph)
+    plane = plane_of(adjacency)
+    origins = paper.topology.graph.asns()[:100]
+
+    start = time.perf_counter()
+    for origin in origins:
+        _compute_route_tree_legacy(adjacency, origin)
+    legacy_seconds = time.perf_counter() - start
+
+    def run():
+        for origin in origins:
+            plane.propagate(origin)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    vectorized_seconds = benchmark.stats.stats.median
+    speedup = legacy_seconds / vectorized_seconds
+    print(f"\n[engine] legacy {legacy_seconds:.2f}s, "
+          f"vectorized {vectorized_seconds:.2f}s, speedup {speedup:.2f}x")
+    _record(
+        "propagation_engine_comparison",
+        benchmark,
+        n_origins=len(origins),
+        legacy_seconds=legacy_seconds,
+        speedup=speedup,
+    )
+    assert speedup > 1.2
 
 
 def _parallel_bench_config() -> ScenarioConfig:

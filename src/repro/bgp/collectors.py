@@ -36,7 +36,7 @@ from repro.bgp.communities import (
     Meaning,
 )
 from repro.bgp.policy import AdjacencyIndex, RouteClass
-from repro.bgp.propagation import compute_route_tree
+from repro.bgp.propagation import compute_origin_routes
 from repro.datasets.paths import CollectedRoute, PathCorpus
 from repro.topology.generator import Topology
 from repro.topology.graph import Role
@@ -197,9 +197,13 @@ class RouteCollector:
     ) -> PathCorpus:
         """Propagate every origin and record what the collector hears.
 
-        Route trees are computed lazily and discarded per origin, so the
+        Per-origin routes are computed lazily and discarded, so the
         memory footprint stays linear in the corpus, not quadratic in
-        the AS count.  Passing an existing ``corpus`` merges this round
+        the AS count.  With the default vectorized engine each origin
+        yields flat :class:`~repro.bgp.propagation.RouteArrays` columns
+        straight off the shared propagation plane — no dict trees are
+        materialised anywhere on this path.  Passing an existing
+        ``corpus`` merges this round
         into it (duplicate paths are dropped by the corpus); passing an
         ``adjacency`` overrides the topology view, which is how churn
         rounds inject link failures.
@@ -232,10 +236,10 @@ class RouteCollector:
             )
             return corpus
         for origin in origins:
-            tree = compute_route_tree(adjacency, origin)
+            routes = compute_origin_routes(adjacency, origin)
             corpus.add_routes(
                 routes_for_origin(
-                    tree, self.vantage_points, self.communities,
+                    routes, self.vantage_points, self.communities,
                     self.strippers,
                 )
             )

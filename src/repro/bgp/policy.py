@@ -93,6 +93,18 @@ class AdjacencyIndex:
             for neighbor_list in table.values():
                 neighbor_list.sort()
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle only the source-of-truth tables.
+
+        Derived caches (neighbour sets, the propagation plane) are
+        rebuilt on demand in the receiving process — shipping them to
+        workers would only inflate the initializer payload.
+        """
+        state = dict(self.__dict__)
+        for key in ("_cust_cache", "_peer_cache", "_prov_cache", "_plane_cache"):
+            state.pop(key, None)
+        return state
+
     def route_class(self, receiver: int, sender: int) -> RouteClass:
         """The class of a route ``receiver`` learns from ``sender``."""
         if sender in self._customers_set(receiver):

@@ -24,17 +24,65 @@ Stage structure
 All ties are broken deterministically: shorter path first, then lower
 neighbour ASN — the same convention real implementations approximate
 with router IDs, and the one ASRank-style inference assumes.
+
+Engines
+-------
+Two implementations of the identical semantics:
+
+* **vectorized** (default) — :class:`PropagationPlane` compiles the
+  :class:`~repro.bgp.policy.AdjacencyIndex` once into CSR adjacency
+  arrays (provider/customer/peer neighbour lists plus a partial-transit
+  edge mask) and runs the three stages as numpy frontier passes; each
+  stage's tie-break is a ``lexsort`` + first-occurrence reduce instead
+  of a per-candidate dict race.  The result is a :class:`RouteArrays`
+  (flat int32 ``pref``/``dist``/``parent`` plus a ``restricted`` mask)
+  that collectors consume directly — no per-origin dict trees.
+* **legacy** — the original per-origin dict BFS, retained verbatim as
+  the differential baseline.  Select it with
+  ``REPRO_PROPAGATION_ENGINE=legacy``; the harness in
+  ``tests/bgp/test_propagation_differential.py`` proves the two
+  engines agree AS-for-AS on randomized topologies and byte-for-byte
+  on full scenario artifacts.
+
+:func:`compute_route_tree` always returns the dict-backed
+:class:`RouteTree` compatibility view regardless of engine;
+:func:`compute_origin_routes` returns whichever native representation
+the active engine produces (both satisfy the same read protocol:
+``has_route`` / ``path_from`` / ``pref[asn]`` / ``origin``).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.bgp.policy import AdjacencyIndex, RouteClass
 
 #: Sentinel distance for "no route".
 _NO_ROUTE = -1
+
+#: Environment variable selecting the propagation engine.
+ENGINE_ENV = "REPRO_PROPAGATION_ENGINE"
+
+_ENGINES = ("vectorized", "legacy")
+
+_SELF = np.int32(int(RouteClass.SELF))
+_CUSTOMER = np.int32(int(RouteClass.CUSTOMER))
+_PEER = np.int32(int(RouteClass.PEER))
+_PROVIDER = np.int32(int(RouteClass.PROVIDER))
+
+
+def propagation_engine() -> str:
+    """The active engine name (``vectorized`` unless overridden)."""
+    engine = os.environ.get(ENGINE_ENV) or "vectorized"
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"{ENGINE_ENV}={engine!r}: expected one of {_ENGINES}"
+        )
+    return engine
 
 
 @dataclass
@@ -77,8 +125,359 @@ class RouteTree:
         return tuple(path)
 
 
-def compute_route_tree(adj: AdjacencyIndex, origin: int) -> RouteTree:
-    """Run the three-stage decision process for one origin."""
+# ---------------------------------------------------------------------------
+# vectorized engine
+# ---------------------------------------------------------------------------
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """``np.concatenate([np.arange(s, s + c) ...])`` without the Python
+    loop (the vectorized range-concatenation trick)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    base = np.repeat(starts.astype(np.int64), counts)
+    resets = np.repeat(np.cumsum(counts) - counts, counts)
+    return base + np.arange(total, dtype=np.int64) - resets
+
+
+def _first_occurrence(sorted_keys: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first element of each run of equal keys."""
+    first = np.empty(len(sorted_keys), dtype=bool)
+    first[0] = True
+    first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    return first
+
+
+class PropagationPlane:
+    """CSR compilation of an :class:`AdjacencyIndex` for array passes.
+
+    AS ids are dense int32 indices into ``self.asns`` (ASNs sorted
+    ascending), so *minimising over ids minimises over ASNs* — the
+    lower-ASN tie-break of the decision process becomes a plain
+    ``lexsort``/first-occurrence reduce.  Three CSR tables hold the
+    directed neighbour lists (providers of, customers of, peers of);
+    ``partial_up[j]`` flags the customer→provider edge
+    ``prov_indices[j]`` whose P2C link is partial transit.
+
+    Build once per adjacency (see :func:`plane_of`), propagate per
+    origin with :meth:`propagate`.
+    """
+
+    def __init__(self, adj: AdjacencyIndex) -> None:
+        asns = np.sort(np.asarray(adj.asns, dtype=np.int64))
+        self.asns = asns
+        self.n = len(asns)
+        self.prov_indptr, self.prov_indices = self._csr(adj.providers, asns)
+        self.cust_indptr, self.cust_indices = self._csr(adj.customers, asns)
+        self.peer_indptr, self.peer_indices = self._csr(adj.peers, asns)
+        partial_up = np.zeros(len(self.prov_indices), dtype=bool)
+        for provider, customer in sorted(adj.partial):
+            ci = self._id(customer)
+            pi = self._id(provider)
+            lo, hi = int(self.prov_indptr[ci]), int(self.prov_indptr[ci + 1])
+            pos = lo + int(np.searchsorted(self.prov_indices[lo:hi], pi))
+            if pos >= hi or int(self.prov_indices[pos]) != pi:
+                raise ValueError(
+                    f"partial-transit link ({provider}, {customer}) not in "
+                    "the adjacency index"
+                )
+            partial_up[pos] = True
+        self.partial_up = partial_up
+
+    @staticmethod
+    def _csr(
+        table: Dict[int, List[int]], asns: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(asns)
+        asn_list = asns.tolist()
+        counts = np.fromiter(
+            (len(table[a]) for a in asn_list), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        flat = np.fromiter(
+            (x for a in asn_list for x in table[a]),
+            dtype=np.int64,
+            count=total,
+        )
+        # Neighbour lists are ASN-sorted, so the id lists stay sorted.
+        indices = np.searchsorted(asns, flat).astype(np.int32)
+        return indptr, indices
+
+    # ------------------------------------------------------------------
+    def _id(self, asn: int) -> int:
+        """Dense id of ``asn`` (raises ``KeyError`` when unknown)."""
+        pos = int(np.searchsorted(self.asns, asn))
+        if pos >= self.n or int(self.asns[pos]) != asn:
+            raise KeyError(f"AS{asn} not in plane")
+        return pos
+
+    def id_or_none(self, asn: int) -> Optional[int]:
+        pos = int(np.searchsorted(self.asns, asn))
+        if pos >= self.n or int(self.asns[pos]) != asn:
+            return None
+        return pos
+
+    @staticmethod
+    def _out_edges(
+        indptr: np.ndarray, frontier: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(edge positions, repeated senders) for a frontier id array."""
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        positions = _concat_ranges(starts, counts)
+        senders = np.repeat(frontier, counts)
+        return positions, senders
+
+    # ------------------------------------------------------------------
+    def propagate(self, origin: int) -> "RouteArrays":
+        """Run the three-stage decision process for one origin.
+
+        Pure array passes; the returned :class:`RouteArrays` holds the
+        full per-AS ``pref``/``dist``/``parent``/``restricted`` columns.
+        """
+        n = self.n
+        o = self._id(origin)
+        pref = np.full(n, _NO_ROUTE, dtype=np.int32)
+        dist = np.zeros(n, dtype=np.int32)
+        parent = np.full(n, -1, dtype=np.int32)
+        restricted = np.zeros(n, dtype=bool)
+        pref[o] = _SELF
+
+        # ---- stage 1: customer routes (frontier BFS upward) ----------
+        frontier = np.array([o], dtype=np.int32)
+        level = 0
+        while frontier.size:
+            level += 1
+            positions, senders = self._out_edges(self.prov_indptr, frontier)
+            targets = self.prov_indices[positions]
+            partial = self.partial_up[positions]
+            keep = pref[targets] == _NO_ROUTE
+            targets, senders, partial = (
+                targets[keep], senders[keep], partial[keep],
+            )
+            if targets.size == 0:
+                break
+            # Lowest child ASN wins each provider: sort by (target,
+            # sender id) and take each target's first row — ids are
+            # ASN-ordered, so min id is min ASN.
+            order = np.lexsort((senders, targets))
+            targets, senders, partial = (
+                targets[order], senders[order], partial[order],
+            )
+            first = _first_occurrence(targets)
+            targets, senders, partial = (
+                targets[first], senders[first], partial[first],
+            )
+            pref[targets] = _CUSTOMER
+            dist[targets] = level
+            parent[targets] = senders
+            restricted[targets] = partial
+            # Restricted holders keep the route but stop exporting up.
+            frontier = targets[~partial]
+
+        # ---- stage 2: peer routes (one offer pass) -------------------
+        exporters = np.flatnonzero(
+            (pref == _SELF) | ((pref == _CUSTOMER) & ~restricted)
+        ).astype(np.int32)
+        positions, senders = self._out_edges(self.peer_indptr, exporters)
+        receivers = self.peer_indices[positions]
+        keep = pref[receivers] == _NO_ROUTE
+        receivers, senders = receivers[keep], senders[keep]
+        if receivers.size:
+            sender_dist = dist[senders]
+            # Best offer per receiver: shortest sender path, then lowest
+            # sender ASN.
+            order = np.lexsort((senders, sender_dist, receivers))
+            receivers, senders, sender_dist = (
+                receivers[order], senders[order], sender_dist[order],
+            )
+            first = _first_occurrence(receivers)
+            receivers, senders, sender_dist = (
+                receivers[first], senders[first], sender_dist[first],
+            )
+            pref[receivers] = _PEER
+            dist[receivers] = sender_dist + 1
+            parent[receivers] = senders
+
+        # ---- stage 3: provider routes (bucket-queue descent) ---------
+        routed = np.flatnonzero(pref != _NO_ROUTE).astype(np.int32)
+        if routed.size:
+            order = np.argsort(dist[routed], kind="stable")
+            routed = routed[order]
+            routed_dist = dist[routed]
+            max_level = int(routed_dist[-1])
+            added: Dict[int, np.ndarray] = {}
+            level = 0
+            while level <= max_level:
+                lo = int(np.searchsorted(routed_dist, level, side="left"))
+                hi = int(np.searchsorted(routed_dist, level, side="right"))
+                extra = added.pop(level, None)
+                if hi > lo and extra is not None:
+                    senders_now = np.concatenate((routed[lo:hi], extra))
+                elif hi > lo:
+                    senders_now = routed[lo:hi]
+                else:
+                    senders_now = extra
+                if senders_now is not None and senders_now.size:
+                    positions, senders = self._out_edges(
+                        self.cust_indptr, senders_now
+                    )
+                    customers = self.cust_indices[positions]
+                    keep = pref[customers] == _NO_ROUTE
+                    customers, senders = customers[keep], senders[keep]
+                    if customers.size:
+                        order = np.lexsort((senders, customers))
+                        customers, senders = customers[order], senders[order]
+                        first = _first_occurrence(customers)
+                        customers, senders = customers[first], senders[first]
+                        pref[customers] = _PROVIDER
+                        dist[customers] = level + 1
+                        parent[customers] = senders
+                        added[level + 1] = customers
+                        if level + 1 > max_level:
+                            max_level = level + 1
+                level += 1
+
+        return RouteArrays(
+            origin=origin,
+            plane=self,
+            pref_arr=pref,
+            dist_arr=dist,
+            parent_arr=parent,
+            restricted_arr=restricted,
+        )
+
+
+class _ClassView:
+    """Read-only ``pref[asn] -> RouteClass`` view over the pref column.
+
+    Mimics the legacy dict's mapping protocol where consumers use it:
+    ``[]`` raises ``KeyError`` for unrouted or unknown ASes, ``in``
+    tests route existence.
+    """
+
+    __slots__ = ("_routes",)
+
+    def __init__(self, routes: "RouteArrays") -> None:
+        self._routes = routes
+
+    def __getitem__(self, asn: int) -> RouteClass:
+        routes = self._routes
+        i = routes.plane.id_or_none(asn)
+        if i is None or routes.pref_arr[i] == _NO_ROUTE:
+            raise KeyError(asn)
+        return RouteClass(int(routes.pref_arr[i]))
+
+    def __contains__(self, asn: int) -> bool:
+        return self._routes.has_route(asn)
+
+
+@dataclass
+class RouteArrays:
+    """Vectorized best routes of every AS towards one origin.
+
+    The columnar counterpart of :class:`RouteTree`: ``pref_arr`` /
+    ``dist_arr`` / ``parent_arr`` are int32 columns indexed by dense
+    plane id (``pref_arr == -1`` means no route; ``parent_arr`` holds
+    plane ids, ``-1`` at the origin), ``restricted_arr`` is the
+    partial-transit mask.  The read protocol the collectors use
+    (``has_route`` / ``path_from`` / ``pref[asn]`` / ``origin``) is
+    identical to the dict tree, so :func:`routes_for_origin` accepts
+    either representation.
+    """
+
+    origin: int
+    plane: PropagationPlane
+    pref_arr: np.ndarray
+    dist_arr: np.ndarray
+    parent_arr: np.ndarray
+    restricted_arr: np.ndarray
+
+    @property
+    def pref(self) -> _ClassView:
+        return _ClassView(self)
+
+    def has_route(self, asn: int) -> bool:
+        i = self.plane.id_or_none(asn)
+        return i is not None and self.pref_arr[i] != _NO_ROUTE
+
+    def routed_ids(self) -> np.ndarray:
+        """Dense ids of every AS holding a route (ascending)."""
+        return np.flatnonzero(self.pref_arr != _NO_ROUTE)
+
+    def path_from(self, asn: int) -> Optional[Tuple[int, ...]]:
+        """AS path from ``asn`` to the origin (inclusive), or ``None``."""
+        i = self.plane.id_or_none(asn)
+        if i is None or self.pref_arr[i] == _NO_ROUTE:
+            return None
+        asns = self.plane.asns
+        parent = self.parent_arr
+        path: List[int] = [int(asns[i])]
+        current = i
+        while True:
+            current = int(parent[current])
+            if current < 0:
+                break
+            path.append(int(asns[current]))
+            if len(path) > self.plane.n + 1:
+                raise RuntimeError("parent-pointer loop in route arrays")
+        return tuple(path)
+
+    def to_route_tree(self) -> RouteTree:
+        """Materialise the dict-backed compatibility view.
+
+        Routed ASes are emitted in ascending-ASN order (deterministic
+        but not the legacy BFS-discovery order; no consumer observes
+        the dict order, and the differential tests compare by value).
+        """
+        routed = self.routed_ids()
+        asns = self.plane.asns[routed].tolist()
+        prefs = self.pref_arr[routed].tolist()
+        dists = self.dist_arr[routed].tolist()
+        parents = self.parent_arr[routed].tolist()
+        restr = self.restricted_arr[routed].tolist()
+        plane_asns = self.plane.asns
+        pref: Dict[int, RouteClass] = {}
+        dist: Dict[int, int] = {}
+        parent: Dict[int, Optional[int]] = {}
+        restricted: Dict[int, bool] = {}
+        for asn, p, d, par, r in zip(asns, prefs, dists, parents, restr):
+            pref[asn] = RouteClass(p)
+            dist[asn] = d
+            parent[asn] = int(plane_asns[par]) if par >= 0 else None
+            restricted[asn] = bool(r)
+        return RouteTree(
+            origin=self.origin,
+            pref=pref,
+            dist=dist,
+            parent=parent,
+            restricted=restricted,
+        )
+
+
+def plane_of(adj: AdjacencyIndex) -> PropagationPlane:
+    """The (cached) propagation plane of an adjacency index.
+
+    The plane is derived once and memoised on the adjacency object —
+    the same idiom as the index's neighbour-set caches — so per-origin
+    sweeps, `RoutingTable.compute`, and the parallel workers all share
+    one build per adjacency.
+    """
+    plane = getattr(adj, "_plane_cache", None)
+    if plane is None:
+        plane = PropagationPlane(adj)
+        adj._plane_cache = plane
+    return plane
+
+
+# ---------------------------------------------------------------------------
+# legacy engine (differential baseline)
+# ---------------------------------------------------------------------------
+
+def _compute_route_tree_legacy(adj: AdjacencyIndex, origin: int) -> RouteTree:
+    """The original per-origin dict BFS, kept as the reference engine."""
     pref: Dict[int, RouteClass] = {origin: RouteClass.SELF}
     dist: Dict[int, int] = {origin: 0}
     parent: Dict[int, Optional[int]] = {origin: None}
@@ -170,6 +569,39 @@ def compute_route_tree(adj: AdjacencyIndex, origin: int) -> RouteTree:
     )
 
 
+# ---------------------------------------------------------------------------
+# engine dispatch
+# ---------------------------------------------------------------------------
+
+#: Either native representation; both satisfy the collector protocol.
+OriginRoutes = Union[RouteTree, RouteArrays]
+
+
+def compute_origin_routes(adj: AdjacencyIndex, origin: int) -> OriginRoutes:
+    """One origin's routes in the active engine's native representation.
+
+    The hot-path entry point: the vectorized engine returns
+    :class:`RouteArrays` (no dict materialisation), the legacy engine
+    its :class:`RouteTree`.  Use :func:`compute_route_tree` when the
+    dict view is required.
+    """
+    if propagation_engine() == "legacy":
+        return _compute_route_tree_legacy(adj, origin)
+    return plane_of(adj).propagate(origin)
+
+
+def compute_route_tree(adj: AdjacencyIndex, origin: int) -> RouteTree:
+    """Run the three-stage decision process for one origin.
+
+    Always returns the dict-backed :class:`RouteTree` view; with the
+    default vectorized engine the routes are computed as array passes
+    and then materialised.
+    """
+    if propagation_engine() == "legacy":
+        return _compute_route_tree_legacy(adj, origin)
+    return plane_of(adj).propagate(origin).to_route_tree()
+
+
 def iter_route_trees(
     adj: AdjacencyIndex,
     origins: Optional[Iterable[int]] = None,
@@ -179,15 +611,15 @@ def iter_route_trees(
 
     Trees are produced lazily so callers can extract vantage-point paths
     and drop each tree before the next one is built — the full set of
-    trees would be quadratic in memory.
+    trees would be quadratic in memory.  The propagation plane is built
+    once for the whole sweep (see :func:`plane_of`).
 
     ``workers`` shards the per-origin fan-out across that many worker
     processes (see :class:`repro.pipeline.parallel.ParallelPropagator`);
     the yielded sequence is identical to the serial one — same trees,
-    same origin order — because every tie-break in
-    :func:`compute_route_tree` is explicit and the parallel merge
-    preserves submission order.  ``workers=0`` (default) stays fully
-    in-process.
+    same origin order — because every tie-break is explicit and the
+    parallel merge preserves submission order.  ``workers=0`` (default)
+    stays fully in-process.
     """
     if workers:
         from repro.pipeline.parallel import ParallelPropagator

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.bgp.policy import AdjacencyIndex, RouteClass
-from repro.bgp.propagation import compute_route_tree
+from repro.bgp.propagation import compute_origin_routes
 from repro.topology.graph import ASGraph
 
 
@@ -48,25 +48,29 @@ class RoutingTable:
     def compute(cls, graph: ASGraph, asn: int) -> "RoutingTable":
         """Sweep every origin's decision process for this AS.
 
-        Cost is one propagation per origin — fine for inspecting a few
-        ASes, not meant for bulk use (collectors stream instead).
+        The adjacency index — and, under the vectorized engine, the
+        CSR propagation plane — is built exactly once and reused for
+        the whole origin sweep; only the per-origin route columns are
+        recomputed.  Cost is still one propagation per origin — fine
+        for inspecting a few ASes, not meant for bulk use (collectors
+        stream instead).
         """
         if asn not in graph:
             raise KeyError(f"AS{asn} not in graph")
         adjacency = AdjacencyIndex(graph)
         entries: Dict[int, RibEntry] = {}
         for origin in adjacency.asns:
-            tree = compute_route_tree(adjacency, origin)
-            if not tree.has_route(asn):
+            routes = compute_origin_routes(adjacency, origin)
+            if not routes.has_route(asn):
                 continue
-            path = tree.path_from(asn)
+            path = routes.path_from(asn)
             assert path is not None
             next_hop = path[1] if len(path) > 1 else None
             entries[origin] = RibEntry(
                 origin=origin,
                 next_hop=next_hop,
                 path=path,
-                route_class=tree.pref[asn],
+                route_class=routes.pref[asn],
             )
         return cls(asn=asn, entries=entries)
 

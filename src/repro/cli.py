@@ -17,9 +17,11 @@ Every command accepts ``--ases``, ``--vps``, ``--seed`` and
 ``--churn-rounds`` to size the synthetic Internet (defaults are scaled
 down from the paper-scale scenario so the CLI answers in seconds),
 plus the execution-policy knobs ``--workers N`` (propagation worker
-processes; 0 = serial, -1 = CPU count) and ``--cache`` /
-``--no-cache`` (reuse scenario artifacts from the content-addressed
-cache under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+processes; 0 = serial, -1 = CPU count), ``--cache`` / ``--no-cache``
+(reuse scenario artifacts from the content-addressed cache under
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), and
+``--propagation-engine vectorized|legacy`` (the frontier-pass engine
+versus the reference dict engine; outputs are byte-identical).
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -61,6 +64,11 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="cache root (default $REPRO_CACHE_DIR "
                              "or ~/.cache/repro)")
+    parser.add_argument("--propagation-engine", default=None,
+                        choices=("vectorized", "legacy"),
+                        help="route propagation engine (default: "
+                             "$REPRO_PROPAGATION_ENGINE or vectorized; "
+                             "both produce byte-identical artifacts)")
 
 
 def _config_from(args: argparse.Namespace) -> ScenarioConfig:
@@ -84,6 +92,10 @@ def _build(args: argparse.Namespace) -> Scenario:
     # One shared normalisation for every command (and `repro serve`):
     # 0 = serial, -1/None = CPU count, positive counts literal.
     workers = resolve_workers(args.workers)
+    if getattr(args, "propagation_engine", None):
+        # The env var is the single switch the propagation layer (and
+        # its worker processes, which inherit the environment) reads.
+        os.environ["REPRO_PROPAGATION_ENGINE"] = args.propagation_engine
     print(
         f"building scenario (ases={args.ases}, vps={args.vps}, "
         f"seed={args.seed}, workers={workers}, "

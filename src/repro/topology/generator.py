@@ -62,6 +62,23 @@ SPECIAL_BUSINESS_TYPES: Tuple[str, ...] = (
 
 _ORDINARY_BUSINESS_TYPES: Tuple[str, ...] = ("enterprise", "eyeball")
 
+#: Above this AS count the generator registers the overflow 32-bit
+#: blocks (the base blocks cannot hold ~100k ASes) and the 16-bit
+#: occupancy spill kicks in.  Small/paper-scale scenarios never reach
+#: the threshold, so their RNG draw sequences — and hence every golden
+#: artifact — are untouched.
+_SCALE_THRESHOLD = 20000
+
+#: Extra per-region 32-bit blocks for 100k-AS-class scenarios; disjoint
+#: from the base blocks and from every reserved range.
+_OVERFLOW_BLOCKS_32: Dict[Region, Tuple[int, int]] = {
+    Region.ARIN: (400000, 499999),
+    Region.RIPE: (500000, 699999),
+    Region.APNIC: (700000, 799999),
+    Region.LACNIC: (800000, 899999),
+    Region.AFRINIC: (900000, 999999),
+}
+
 
 @dataclass
 class Topology:
@@ -105,7 +122,6 @@ class TopologyGenerator:
         self.ixps = IXPRegistry()
         self._by_role: Dict[Role, List[int]] = {role: [] for role in Role}
         self._by_region: Dict[Region, List[int]] = {r: [] for r in Region}
-        self._customer_count: Dict[int, int] = {}
         self.cogent_asn: int = _CLIQUE_ASN_POOL[Region.ARIN][0]
         self.special_stubs: List[int] = []
 
@@ -116,6 +132,7 @@ class TopologyGenerator:
         """Build and return the full topology."""
         self._build_region_blocks()
         self._create_ases()
+        self._build_link_pools()
         self._create_orgs()
         self._link_clique()
         self._link_transit_hierarchy()
@@ -184,6 +201,19 @@ class TopologyGenerator:
                 ranges.append(blocks_16_extra[region])
             self._blocks_16[region] = ranges
         self._blocks_32 = {r: [blocks_32[r]] for r in Region}
+        if self.topo_cfg.n_ases > _SCALE_THRESHOLD:
+            for region, (low, high) in _OVERFLOW_BLOCKS_32.items():
+                self.region_map.add_iana_block(low, high, region)
+                self._blocks_32[region].append((low, high))
+        # 16-bit occupancy tracking: rejection sampling degrades as a
+        # block fills, and at 100k-AS scale the 16-bit demand simply
+        # exceeds the space.  Past ~70% occupancy the draw spills to the
+        # region's (ample) 32-bit blocks.
+        self._cap_16 = {
+            r: sum(high - low + 1 for low, high in ranges)
+            for r, ranges in self._blocks_16.items()
+        }
+        self._alloc_16 = {r: 0 for r in Region}
         # The clique pool ASNs live outside the synthetic blocks; pin
         # them to their intended regions via explicit delegations.
         for region, pool in _CLIQUE_ASN_POOL.items():
@@ -192,6 +222,10 @@ class TopologyGenerator:
 
     def _draw_asn(self, region: Region, want_32bit: bool) -> int:
         """Draw an unused ASN from the region's block(s)."""
+        if not want_32bit and self._alloc_16[region] * 10 >= self._cap_16[region] * 7:
+            want_32bit = True  # 16-bit block ~70% full: spill to 32-bit
+        if not want_32bit:
+            self._alloc_16[region] += 1
         ranges = self._blocks_32[region] if want_32bit else self._blocks_16[region]
         for _ in range(10000):
             low, high = ranges[int(self._rng_asn.integers(0, len(ranges)))]
@@ -258,7 +292,6 @@ class TopologyGenerator:
         self.graph.add_as(node)
         self._by_role[role].append(asn)
         self._by_region[region].append(asn)
-        self._customer_count[asn] = 0
         return asn
 
     def _create_ases(self) -> None:
@@ -319,12 +352,86 @@ class TopologyGenerator:
             self.region_map.transfer(node.asn, new_region)
 
     # ------------------------------------------------------------------
+    # link-formation pools
+    # ------------------------------------------------------------------
+    def _build_link_pools(self) -> None:
+        """Precompute the static pools the linking stages draw from.
+
+        Roles and regions are final once :meth:`_create_ases` (which
+        includes the inter-RIR transfers) has run, so the candidate
+        lists the linking stages used to re-filter out of
+        ``_by_role``/``_by_region`` on *every* provider pick can be
+        built exactly once.  Pool contents and iteration order match
+        the per-call list comprehensions they replace, and customer
+        counts move into a dense float array so the preferential-
+        attachment weights become one vectorized gather — the RNG draw
+        sequence (and therefore every golden artifact) is unchanged.
+        """
+        self._cidx: Dict[int, int] = {
+            asn: i for i, asn in enumerate(self.graph.asns())
+        }
+        self._counts = np.zeros(len(self._cidx), dtype=np.float64)
+        provider_roles = (
+            Role.CLIQUE, Role.LARGE_TRANSIT, Role.MID_TRANSIT,
+            Role.SMALL_TRANSIT,
+        )
+        # (role, region) -> (pool list, dense-id array, cogent position);
+        # the ``(role, None)`` entry is the all-regions fallback.
+        self._provider_pools: Dict[
+            Tuple[Role, Optional[Region]],
+            Tuple[List[int], np.ndarray, Optional[int]],
+        ] = {}
+        for role in provider_roles:
+            members = self._by_role[role]
+            by_region: Dict[Region, List[int]] = {r: [] for r in Region}
+            for asn in members:
+                region = self.graph.node(asn).region
+                assert region is not None
+                by_region[region].append(asn)
+            for region in Region:
+                self._provider_pools[(role, region)] = self._pool_entry(
+                    role, by_region[region]
+                )
+            self._provider_pools[(role, None)] = self._pool_entry(
+                role, list(members)
+            )
+        # Per-region transit lists for the peering fallback (callers
+        # must treat the returned pools as read-only).
+        self._region_transit: Dict[Region, List[int]] = {}
+        self._region_transit_set: Dict[Region, Set[int]] = {}
+        for region in Region:
+            transit = [
+                a
+                for a in self._by_region[region]
+                if self.graph.node(a).role.is_transit
+            ]
+            self._region_transit[region] = transit
+            self._region_transit_set[region] = set(transit)
+
+    def _pool_entry(
+        self, role: Role, pool: List[int]
+    ) -> Tuple[List[int], np.ndarray, Optional[int]]:
+        ids = np.array([self._cidx[a] for a in pool], dtype=np.int64)
+        cogent_pos = None
+        if role is Role.CLIQUE and self.cogent_asn in pool:
+            cogent_pos = pool.index(self.cogent_asn)
+        return pool, ids, cogent_pos
+
+    # ------------------------------------------------------------------
     # organisations
     # ------------------------------------------------------------------
     def _create_orgs(self) -> None:
         cfg = self.topo_cfg
         asns = self.graph.asns()
         unassigned = set(asns)
+        # Per-region unassigned views in ``_by_region`` order: dict keys
+        # keep insertion order across removals, so the same-region
+        # candidate list below matches the legacy per-lead scan of the
+        # whole region (filtered by ``unassigned``) exactly, without
+        # re-walking assigned ASes on every lead.
+        open_by_region: Dict[Region, Dict[int, None]] = {
+            r: dict.fromkeys(self._by_region[r]) for r in Region
+        }
         org_counter = 0
         # Multi-AS organisations first: pick a lead AS, then pull in
         # 1..max_siblings-1 further ASes, preferably of the same region.
@@ -336,9 +443,7 @@ class TopologyGenerator:
                 continue
             region = self.graph.node(lead).region
             n_extra = int(self._rng_orgs.integers(1, cfg.max_siblings_per_org))
-            same_region = [
-                a for a in self._by_region[region] if a in unassigned and a != lead
-            ]
+            same_region = [a for a in open_by_region[region] if a != lead]
             members = [lead]
             for _ in range(n_extra):
                 if not same_region:
@@ -356,6 +461,7 @@ class TopologyGenerator:
             self.orgs.add_org(org)
             for member in members:
                 unassigned.discard(member)
+                open_by_region[region].pop(member, None)
                 self.graph.node(member).org_id = org_id
         # Everything else is a single-AS organisation.
         for asn in sorted(unassigned):
@@ -420,32 +526,28 @@ class TopologyGenerator:
             list(Region),
             [region_row[r] for r in Region],
         )
-        pool = [
-            asn
-            for asn in self._by_role[provider_role]
-            if self.graph.node(asn).region is region and asn != customer
-        ]
+        # The tier mixes never offer a customer its own role, so the
+        # precomputed pools need no per-call self-exclusion.
+        customer_role = self.graph.node(customer).role
+        assert customer_role is not provider_role
+        pool, ids, cogent_pos = self._provider_pools[(provider_role, region)]
         if not pool:
-            pool = [a for a in self._by_role[provider_role] if a != customer]
+            pool, ids, cogent_pos = self._provider_pools[(provider_role, None)]
         if not pool:
             return None
         # Preferential attachment; the Cogent-like AS is additionally
         # over-attractive to transit customers (Cogent's real-world
         # customer count is by far the clique's largest, which is what
         # concentrates the §6.1 target links on it).
-        customer_role = self.graph.node(customer).role
-        weights = []
-        for candidate in pool:
+        if provider_role is Role.CLIQUE:
             # Clique members get a multiplicative boost plus an additive
             # floor, so even the smaller Tier-1s accumulate the customer
             # bases that make transit degree a usable rank signal.
-            if self.graph.node(candidate).role is Role.CLIQUE:
-                weight = (self._customer_count[candidate] + 10.0) * 3.0
-            else:
-                weight = self._customer_count[candidate] + 1.0
-            if candidate == self.cogent_asn and customer_role.is_transit:
-                weight *= 8.0
-            weights.append(weight)
+            weights = (self._counts[ids] + 10.0) * 3.0
+            if cogent_pos is not None and customer_role.is_transit:
+                weights[cogent_pos] *= 8.0
+        else:
+            weights = self._counts[ids] + 1.0
         for _ in range(8):
             choice = weighted_choice(self._rng_links, pool, weights)
             if not self.graph.has_link(customer, choice):
@@ -483,7 +585,7 @@ class TopologyGenerator:
                 self.graph.add_link(
                     Link(provider=provider, customer=customer, rel=RelType.P2C)
                 )
-                self._customer_count[provider] += 1
+                self._counts[self._cidx[provider]] += 1.0
 
     # ------------------------------------------------------------------
     # IXPs and peering
@@ -552,11 +654,10 @@ class TopologyGenerator:
         if partners:
             return sorted(partners)
         region = self.graph.node(asn).region
-        return [
-            a
-            for a in self._by_region[region]
-            if a != asn and self.graph.node(a).role.is_transit
-        ]
+        pool = self._region_transit[region]
+        if asn in self._region_transit_set[region]:
+            return [a for a in pool if a != asn]
+        return pool
 
     def _link_peering(self) -> None:
         """Bilateral peering among transit tiers and some stubs."""

@@ -69,3 +69,41 @@ class TestRoutingTable:
     def test_entries_sorted(self, table_30):
         origins = [e.origin for e in table_30.entries()]
         assert origins == sorted(origins)
+
+
+class TestSingleSweepLock:
+    """``RoutingTable.compute`` builds one adjacency/plane and sweeps;
+    its output is locked against the per-origin compatibility view."""
+
+    @pytest.mark.parametrize("asn", [10, 30, 50, 350])
+    def test_matches_per_origin_route_trees(self, tiny_graph, asn):
+        from repro.bgp.policy import AdjacencyIndex
+        from repro.bgp.propagation import compute_route_tree
+
+        table = RoutingTable.compute(tiny_graph, asn)
+        adjacency = AdjacencyIndex(tiny_graph)
+        expected_origins = []
+        for origin in adjacency.asns:
+            tree = compute_route_tree(adjacency, origin)
+            if not tree.has_route(asn):
+                continue
+            expected_origins.append(origin)
+            entry = table.lookup(origin)
+            assert entry is not None
+            assert entry.path == tree.path_from(asn)
+            assert entry.route_class is tree.pref[asn]
+            assert entry.next_hop == (
+                entry.path[1] if len(entry.path) > 1 else None
+            )
+        assert sorted(expected_origins) == sorted(
+            e.origin for e in table.entries()
+        )
+
+    def test_identical_under_both_engines(self, tiny_graph, monkeypatch):
+        from repro.bgp.propagation import ENGINE_ENV
+
+        monkeypatch.setenv(ENGINE_ENV, "legacy")
+        legacy = RoutingTable.compute(tiny_graph, 30)
+        monkeypatch.setenv(ENGINE_ENV, "vectorized")
+        vec = RoutingTable.compute(tiny_graph, 30)
+        assert list(vec.entries()) == list(legacy.entries())

@@ -21,7 +21,10 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.config import (
+    AdversarialConfig,
+    AttackConfig,
     MeasurementConfig,
+    PolicyDeployment,
     ScenarioConfig,
     TopologyConfig,
     ValidationConfig,
@@ -43,7 +46,10 @@ from repro.pipeline import ArtifactCache, ParallelPropagator
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdversarialConfig",
+    "AttackConfig",
     "MeasurementConfig",
+    "PolicyDeployment",
     "ScenarioConfig",
     "TopologyConfig",
     "ValidationConfig",

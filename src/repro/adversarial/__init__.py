@@ -1,0 +1,54 @@
+"""Adversarial scenario plane: security policies, attacks, impact.
+
+The honest simulator produces corpora generated entirely by
+Gao-Rexford speakers.  Real validation corpora are polluted by origin
+hijacks and route leaks, and increasingly *filtered* by partially
+deployed security policies (RPKI route-origin validation, ASPA path
+validation).  This package layers both phenomena on top of the
+scenario pipeline:
+
+* :mod:`repro.adversarial.policies` — the registry of pluggable
+  per-AS security policies and the seeded partial-deployment masks
+  that decide which ASes run them;
+* :mod:`repro.adversarial.attacks` — seeded attack-event planning and
+  the joint two-source propagation that injects polluted routes into
+  the collected corpus;
+* :mod:`repro.adversarial.impact` — the clean-vs-polluted analysis
+  workload reporting per-algorithm accuracy degradation and
+  bias-profile drift.
+
+Everything is keyed off :class:`repro.config.AdversarialConfig`; a
+scenario without one is byte-identical to the honest pipeline.
+"""
+
+from repro.adversarial.attacks import AttackEvent, inject_attacks, plan_events
+from repro.adversarial.impact import (
+    AlgorithmImpact,
+    ImpactReport,
+    compare_scenarios,
+    run_impact,
+)
+from repro.adversarial.policies import (
+    SecurityPolicy,
+    blocked_ases,
+    get_policy,
+    registered_policies,
+    register_policy,
+    resolve_deployments,
+)
+
+__all__ = [
+    "AlgorithmImpact",
+    "AttackEvent",
+    "ImpactReport",
+    "SecurityPolicy",
+    "blocked_ases",
+    "compare_scenarios",
+    "get_policy",
+    "inject_attacks",
+    "plan_events",
+    "register_policy",
+    "registered_policies",
+    "resolve_deployments",
+    "run_impact",
+]

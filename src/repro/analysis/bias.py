@@ -102,3 +102,21 @@ def bias_profile(
         )
     classes.sort(key=lambda c: (-c.share, c.class_name))
     return BiasProfile(classes=classes)
+
+
+def share_drift(a: BiasProfile, b: BiasProfile) -> float:
+    """Total-variation distance between two profiles' share
+    distributions.
+
+    ``0.5 * Σ |share_a - share_b|`` over the union of class names —
+    0.0 when the groupings carry identical link shares, 1.0 when they
+    are disjoint.  The adversarial impact workload uses this to report
+    how far corpus pollution moves the paper's Figure 1/2 bars.
+    """
+    a_shares = {c.class_name: c.share for c in a.classes}
+    b_shares = {c.class_name: c.share for c in b.classes}
+    names = sorted(set(a_shares) | set(b_shares))
+    return 0.5 * sum(
+        abs(a_shares.get(name, 0.0) - b_shares.get(name, 0.0))
+        for name in names
+    )

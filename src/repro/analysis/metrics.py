@@ -21,6 +21,67 @@ from repro.validation.cleaning import CleanedValidation
 
 
 @dataclass(frozen=True)
+class RelationshipAccuracy:
+    """Exact-label agreement of an inferred set against ground truth.
+
+    A link counts as *correct* when the relationship type matches and,
+    for P2C, the provider side matches too.  A link the truth set does
+    not contain at all is *fake* — under attack pollution these are
+    forged edges that never existed in the topology.
+    """
+
+    n_links: int
+    n_real: int
+    n_correct: int
+    n_fake: int
+
+    @property
+    def accuracy(self) -> float:
+        """Correct fraction over the real (truth-covered) links."""
+        return self.n_correct / self.n_real if self.n_real else 0.0
+
+    @property
+    def fake_rate(self) -> float:
+        """Fraction of inferred links that do not exist at all."""
+        return self.n_fake / self.n_links if self.n_links else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_links": self.n_links,
+            "n_real": self.n_real,
+            "n_correct": self.n_correct,
+            "n_fake": self.n_fake,
+            "accuracy": self.accuracy,
+            "fake_rate": self.fake_rate,
+        }
+
+
+def relationship_accuracy(
+    inferred: RelationshipSet, truth: RelationshipSet
+) -> RelationshipAccuracy:
+    """Score every inferred link against a ground-truth set."""
+    n_links = n_real = n_correct = n_fake = 0
+    for key, rel, provider in inferred.items():
+        n_links += 1
+        truth_rel = truth.rel_of(*key)
+        if truth_rel is None:
+            n_fake += 1
+            continue
+        n_real += 1
+        if truth_rel is not rel:
+            continue
+        if rel is RelType.P2C and truth.provider_of(*key) != provider:
+            continue
+        n_correct += 1
+    return RelationshipAccuracy(
+        n_links=n_links,
+        n_real=n_real,
+        n_correct=n_correct,
+        n_fake=n_fake,
+    )
+
+
+@dataclass(frozen=True)
 class BinaryConfusion:
     """A 2x2 confusion matrix."""
 

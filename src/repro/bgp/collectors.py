@@ -159,7 +159,11 @@ def routes_for_origin(
         routes.append(
             CollectedRoute(
                 vp=vp.asn,
-                origin=tree.origin,
+                # The AS the collector *believes* originated the route is
+                # whoever sits at the path tail.  For honest trees that is
+                # tree.origin; under an origin hijack the forged path ends
+                # at the attacker instead.
+                origin=path[-1],
                 path=path,
                 communities=surviving_communities(
                     path, tree, communities, strippers
@@ -285,6 +289,12 @@ def collect_rounds(
     The merged corpus then contains paths from several routing states,
     like a real month of table dumps — in particular, backup transit
     links show up with full triplet context.
+
+    When the scenario carries an adversarial layer with attack events,
+    a final attack round re-propagates each victim prefix jointly with
+    its attacker and merges the polluted routes into the corpus (see
+    :mod:`repro.adversarial.attacks`).  Without attack events this
+    function is byte-identical to its honest predecessor.
     """
     collector = RouteCollector(
         topology, vps, communities, strippers, workers=workers
@@ -304,6 +314,14 @@ def collect_rounds(
                 continue
             churned = AdjacencyIndex(topology.graph, exclude=failed)
             collector.collect(corpus=corpus, adjacency=churned)
+    adv = config.adversarial
+    if adv is not None and adv.attack.total_events() > 0:
+        # Imported lazily: repro.adversarial sits above the BGP layer.
+        from repro.adversarial.attacks import inject_attacks
+
+        inject_attacks(
+            topology, config, vps, communities, strippers, corpus
+        )
     return corpus
 
 

@@ -49,13 +49,29 @@ Two implementations of the identical semantics:
 :func:`compute_origin_routes` returns whichever native representation
 the active engine produces (both satisfy the same read protocol:
 ``has_route`` / ``path_from`` / ``pref[asn]`` / ``origin``).
+
+Adversarial (joint two-source) propagation
+------------------------------------------
+:func:`compute_attack_routes` runs the same three stages for a
+*contested* prefix: the legitimate origin is seeded normally while an
+attack source pre-claims a route of forged length ``claim_dist`` and
+exports it like a customer route (the behaviour of both hijacks and
+RFC 7908 route leaks).  Every adopted route carries a provenance bit
+(``src``: 0 = legitimate, 1 = attack) propagated along parent
+pointers, and a per-AS ``blocked`` mask — security-policy deployments
+plus AS-path loop detection — drops attack-source offers in all three
+stages while leaving legitimate offers untouched.  Both engines
+implement the joint pass; the adversarial differential suite
+(``tests/adversarial/``) proves they agree byte-for-byte on polluted
+corpora.  With no attack the passes are bit-identical to the honest
+code path.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -93,7 +109,9 @@ class RouteTree:
     origin itself); ``pref``/``dist`` hold the route class and AS-path
     length; ``restricted`` flags customer routes that arrived over a
     partial-transit link and therefore do not propagate to peers or
-    providers.
+    providers.  ``src`` is only present for joint two-source (attack)
+    propagation: 0 = route descends from the legitimate origin, 1 =
+    from the attack source.
     """
 
     origin: int
@@ -101,6 +119,7 @@ class RouteTree:
     dist: Dict[int, int]
     parent: Dict[int, Optional[int]]
     restricted: Dict[int, bool]
+    src: Optional[Dict[int, int]] = None
 
     def has_route(self, asn: int) -> bool:
         return asn in self.pref
@@ -231,11 +250,24 @@ class PropagationPlane:
         return positions, senders
 
     # ------------------------------------------------------------------
-    def propagate(self, origin: int) -> "RouteArrays":
+    def propagate(
+        self,
+        origin: int,
+        attack: Optional[Tuple[int, int, np.ndarray]] = None,
+    ) -> "RouteArrays":
         """Run the three-stage decision process for one origin.
 
         Pure array passes; the returned :class:`RouteArrays` holds the
         full per-AS ``pref``/``dist``/``parent``/``restricted`` columns.
+
+        ``attack`` switches to the joint two-source pass for a contested
+        prefix: ``(attacker_asn, claim_dist, blocked)`` pre-claims the
+        attack source with an export-all route of forged length
+        ``claim_dist`` and drops attack-source offers at every AS whose
+        ``blocked`` flag (a bool column over plane ids) is set.  The
+        ``src_arr`` provenance column of the result marks which source
+        each route descends from.  With ``attack=None`` every pass is
+        bit-identical to the honest single-source computation.
         """
         n = self.n
         o = self._id(origin)
@@ -243,39 +275,70 @@ class PropagationPlane:
         dist = np.zeros(n, dtype=np.int32)
         parent = np.full(n, -1, dtype=np.int32)
         restricted = np.zeros(n, dtype=bool)
+        src: Optional[np.ndarray] = None
+        blocked: Optional[np.ndarray] = None
+        a = -1
+        if attack is not None:
+            attacker, claim_dist, blocked = attack
+            a = self._id(attacker)
+            if a == o:
+                raise ValueError("attack source cannot be the origin")
+            src = np.zeros(n, dtype=np.int8)
+            src[a] = 1
+            pref[a] = _SELF
+            dist[a] = np.int32(claim_dist)
         pref[o] = _SELF
 
         # ---- stage 1: customer routes (frontier BFS upward) ----------
-        frontier = np.array([o], dtype=np.int32)
+        # Level-bucketed BFS: ``pending[d]`` holds export-all holders
+        # whose route length is ``d``.  The honest case degenerates to
+        # the contiguous frontier walk; an attack source with a forged
+        # claim length simply enters its bucket late.
+        pending: Dict[int, List[np.ndarray]] = {
+            0: [np.array([o], dtype=np.int32)]
+        }
+        if src is not None:
+            pending.setdefault(int(dist[a]), []).append(
+                np.array([a], dtype=np.int32)
+            )
         level = 0
-        while frontier.size:
-            level += 1
+        while pending:
+            if level not in pending:
+                level = min(pending)
+            frontier = np.concatenate(pending.pop(level))
             positions, senders = self._out_edges(self.prov_indptr, frontier)
             targets = self.prov_indices[positions]
             partial = self.partial_up[positions]
             keep = pref[targets] == _NO_ROUTE
+            if src is not None:
+                keep &= ~(blocked[targets] & (src[senders] == 1))
             targets, senders, partial = (
                 targets[keep], senders[keep], partial[keep],
             )
-            if targets.size == 0:
-                break
-            # Lowest child ASN wins each provider: sort by (target,
-            # sender id) and take each target's first row — ids are
-            # ASN-ordered, so min id is min ASN.
-            order = np.lexsort((senders, targets))
-            targets, senders, partial = (
-                targets[order], senders[order], partial[order],
-            )
-            first = _first_occurrence(targets)
-            targets, senders, partial = (
-                targets[first], senders[first], partial[first],
-            )
-            pref[targets] = _CUSTOMER
-            dist[targets] = level
-            parent[targets] = senders
-            restricted[targets] = partial
-            # Restricted holders keep the route but stop exporting up.
-            frontier = targets[~partial]
+            if targets.size:
+                # Lowest child ASN wins each provider: sort by (target,
+                # sender id) and take each target's first row — ids are
+                # ASN-ordered, so min id is min ASN.
+                order = np.lexsort((senders, targets))
+                targets, senders, partial = (
+                    targets[order], senders[order], partial[order],
+                )
+                first = _first_occurrence(targets)
+                targets, senders, partial = (
+                    targets[first], senders[first], partial[first],
+                )
+                pref[targets] = _CUSTOMER
+                dist[targets] = level + 1
+                parent[targets] = senders
+                restricted[targets] = partial
+                if src is not None:
+                    src[targets] = src[senders]
+                # Restricted holders keep the route but stop exporting
+                # up.
+                nxt = targets[~partial]
+                if nxt.size:
+                    pending.setdefault(level + 1, []).append(nxt)
+            level += 1
 
         # ---- stage 2: peer routes (one offer pass) -------------------
         exporters = np.flatnonzero(
@@ -284,6 +347,8 @@ class PropagationPlane:
         positions, senders = self._out_edges(self.peer_indptr, exporters)
         receivers = self.peer_indices[positions]
         keep = pref[receivers] == _NO_ROUTE
+        if src is not None:
+            keep &= ~(blocked[receivers] & (src[senders] == 1))
         receivers, senders = receivers[keep], senders[keep]
         if receivers.size:
             sender_dist = dist[senders]
@@ -300,6 +365,8 @@ class PropagationPlane:
             pref[receivers] = _PEER
             dist[receivers] = sender_dist + 1
             parent[receivers] = senders
+            if src is not None:
+                src[receivers] = src[senders]
 
         # ---- stage 3: provider routes (bucket-queue descent) ---------
         routed = np.flatnonzero(pref != _NO_ROUTE).astype(np.int32)
@@ -326,6 +393,8 @@ class PropagationPlane:
                     )
                     customers = self.cust_indices[positions]
                     keep = pref[customers] == _NO_ROUTE
+                    if src is not None:
+                        keep &= ~(blocked[customers] & (src[senders] == 1))
                     customers, senders = customers[keep], senders[keep]
                     if customers.size:
                         order = np.lexsort((senders, customers))
@@ -335,6 +404,8 @@ class PropagationPlane:
                         pref[customers] = _PROVIDER
                         dist[customers] = level + 1
                         parent[customers] = senders
+                        if src is not None:
+                            src[customers] = src[senders]
                         added[level + 1] = customers
                         if level + 1 > max_level:
                             max_level = level + 1
@@ -347,6 +418,7 @@ class PropagationPlane:
             dist_arr=dist,
             parent_arr=parent,
             restricted_arr=restricted,
+            src_arr=src,
         )
 
 
@@ -394,6 +466,10 @@ class RouteArrays:
     dist_arr: np.ndarray
     parent_arr: np.ndarray
     restricted_arr: np.ndarray
+    #: Provenance column for joint two-source (attack) propagation:
+    #: 0 = legitimate origin, 1 = attack source.  ``None`` on honest
+    #: single-source results.
+    src_arr: Optional[np.ndarray] = None
 
     @property
     def pref(self) -> _ClassView:
@@ -448,12 +524,17 @@ class RouteArrays:
             dist[asn] = d
             parent[asn] = int(plane_asns[par]) if par >= 0 else None
             restricted[asn] = bool(r)
+        src: Optional[Dict[int, int]] = None
+        if self.src_arr is not None:
+            src_values = self.src_arr[routed].tolist()
+            src = dict(zip(asns, (int(s) for s in src_values)))
         return RouteTree(
             origin=self.origin,
             pref=pref,
             dist=dist,
             parent=parent,
             restricted=restricted,
+            src=src,
         )
 
 
@@ -569,6 +650,128 @@ def _compute_route_tree_legacy(adj: AdjacencyIndex, origin: int) -> RouteTree:
     )
 
 
+def _compute_attack_tree_legacy(
+    adj: AdjacencyIndex,
+    origin: int,
+    attacker: int,
+    claim_dist: int,
+    blocked: Set[int],
+) -> RouteTree:
+    """The dict mirror of the joint two-source pass (reference engine).
+
+    Same stage structure and tie-breaks as the honest legacy engine;
+    the attack source is pre-claimed with an export-all route of length
+    ``claim_dist``, offers from attack-descended routes are dropped at
+    ``blocked`` ASes, and the ``src`` column records provenance.
+    """
+    pref: Dict[int, RouteClass] = {origin: RouteClass.SELF}
+    dist: Dict[int, int] = {origin: 0}
+    parent: Dict[int, Optional[int]] = {origin: None}
+    restricted: Dict[int, bool] = {origin: False}
+    src: Dict[int, int] = {origin: 0}
+    pref[attacker] = RouteClass.SELF
+    dist[attacker] = claim_dist
+    parent[attacker] = None
+    restricted[attacker] = False
+    src[attacker] = 1
+
+    providers = adj.providers
+    customers = adj.customers
+    peers = adj.peers
+    partial = adj.partial
+
+    # ---- stage 1: customer routes ------------------------------------
+    # Level-bucketed BFS upward; the attack source enters its bucket at
+    # the forged claim length.
+    pending: Dict[int, List[int]] = {0: [origin]}
+    pending.setdefault(claim_dist, []).append(attacker)
+    level = 0
+    while pending:
+        if level not in pending:
+            level = min(pending)
+        frontier = pending.pop(level)
+        candidates: Dict[int, int] = {}
+        for asn in frontier:
+            from_attack = src[asn] == 1
+            for provider in providers[asn]:
+                if provider in pref:
+                    continue
+                if from_attack and provider in blocked:
+                    continue
+                best = candidates.get(provider)
+                if best is None or asn < best:
+                    candidates[provider] = asn
+        for provider, chosen_child in candidates.items():
+            pref[provider] = RouteClass.CUSTOMER
+            dist[provider] = level + 1
+            parent[provider] = chosen_child
+            src[provider] = src[chosen_child]
+            is_restricted = (provider, chosen_child) in partial
+            restricted[provider] = is_restricted
+            if not is_restricted:
+                pending.setdefault(level + 1, []).append(provider)
+        level += 1
+
+    # ---- stage 2: peer routes ----------------------------------------
+    offers: Dict[int, Tuple[int, int]] = {}  # receiver -> (dist, sender)
+    for sender, sender_pref in pref.items():
+        if sender_pref is RouteClass.CUSTOMER and restricted.get(sender):
+            continue
+        sender_dist = dist[sender]
+        from_attack = src[sender] == 1
+        for receiver in peers[sender]:
+            if receiver in pref:
+                continue
+            if from_attack and receiver in blocked:
+                continue
+            offer = offers.get(receiver)
+            candidate = (sender_dist, sender)
+            if offer is None or candidate < offer:
+                offers[receiver] = candidate
+    for receiver, (sender_dist, sender) in offers.items():
+        pref[receiver] = RouteClass.PEER
+        dist[receiver] = sender_dist + 1
+        parent[receiver] = sender
+        restricted[receiver] = False
+        src[receiver] = src[sender]
+
+    # ---- stage 3: provider routes ------------------------------------
+    buckets: Dict[int, List[int]] = {}
+    for asn, asn_dist in dist.items():
+        buckets.setdefault(asn_dist, []).append(asn)
+    current_level = 0
+    max_level = max(buckets) if buckets else 0
+    while current_level <= max_level:
+        senders = buckets.get(current_level)
+        if senders:
+            candidates = {}
+            for sender in senders:
+                from_attack = src[sender] == 1
+                for customer in customers[sender]:
+                    if customer in pref:
+                        continue
+                    if from_attack and customer in blocked:
+                        continue
+                    best = candidates.get(customer)
+                    if best is None or sender < best:
+                        candidates[customer] = sender
+            for customer, sender in candidates.items():
+                pref[customer] = RouteClass.PROVIDER
+                dist[customer] = current_level + 1
+                parent[customer] = sender
+                restricted[customer] = False
+                src[customer] = src[sender]
+                buckets.setdefault(current_level + 1, []).append(customer)
+                if current_level + 1 > max_level:
+                    max_level = current_level + 1
+        current_level += 1
+
+    return RouteTree(
+        origin=origin, pref=pref, dist=dist, parent=parent,
+        restricted=restricted, src=src,
+    )
+
+
 # ---------------------------------------------------------------------------
 # engine dispatch
 # ---------------------------------------------------------------------------
@@ -588,6 +791,46 @@ def compute_origin_routes(adj: AdjacencyIndex, origin: int) -> OriginRoutes:
     if propagation_engine() == "legacy":
         return _compute_route_tree_legacy(adj, origin)
     return plane_of(adj).propagate(origin)
+
+
+def compute_attack_routes(
+    adj: AdjacencyIndex,
+    origin: int,
+    attacker: int,
+    claim_dist: int,
+    blocked: Iterable[int] = (),
+) -> OriginRoutes:
+    """Joint two-source routes for a prefix contested by an attacker.
+
+    The legitimate ``origin`` is seeded normally; ``attacker``
+    pre-claims a route whose announced AS path has ``claim_dist``
+    additional hops (0 for an origin hijack, 1 for a forged-origin
+    hijack, the leaked route's real length for a route leak) and
+    exports it to every neighbour like a customer route.  ``blocked``
+    ASes — security-policy deployers that detect this event class plus
+    the ASes already on the forged path suffix (BGP loop detection) —
+    never adopt attack-source routes but keep participating in
+    legitimate propagation.
+
+    Dispatches on the active engine exactly like
+    :func:`compute_origin_routes`; both engines produce identical
+    routes (see ``tests/adversarial/test_engine_differential.py``).
+    """
+    if origin == attacker:
+        raise ValueError("attack source cannot be the origin AS")
+    if claim_dist < 0:
+        raise ValueError(f"claim_dist must be >= 0, got {claim_dist}")
+    if propagation_engine() == "legacy":
+        return _compute_attack_tree_legacy(
+            adj, origin, attacker, claim_dist, set(blocked)
+        )
+    plane = plane_of(adj)
+    blocked_arr = np.zeros(plane.n, dtype=bool)
+    for asn in sorted(blocked):
+        i = plane.id_or_none(asn)
+        if i is not None:
+            blocked_arr[i] = True
+    return plane.propagate(origin, attack=(attacker, claim_dist, blocked_arr))
 
 
 def compute_route_tree(adj: AdjacencyIndex, origin: int) -> RouteTree:

@@ -8,6 +8,7 @@ Exposes the reproduction pipeline without writing Python::
     repro build --out ./artifacts        # export all dataset files
     repro export --out ./results         # machine-readable results bundle
     repro evolve --months 6              # §7 re-sampling experiment
+    repro attack --hijacks 3 --leaks 2   # polluted-corpus impact report
     repro cache list [--json]            # inspect the artifact cache
     repro corpus stats [--json]          # corpus counters + columnar memory
     repro serve --port 8787              # HTTP query service (repro.service)
@@ -293,6 +294,114 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_deploy_spec(spec: str) -> dict:
+    """``policy:strategy:arg`` → a PolicyDeployment dict.
+
+    The third field is the strategy argument: ``top_n`` for
+    ``top_cone``, a fraction for ``random``, a comma-separated AS list
+    for ``explicit``.  Schema errors surface through
+    ``AdversarialConfig.from_dict`` with precise messages.
+    """
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"--deploy expects policy:strategy:arg, got {spec!r} "
+            "(e.g. rpki:top_cone:20, aspa:random:0.3, "
+            "leak_prone:explicit:174,3356)"
+        )
+    policy, strategy, arg = parts
+    data: dict = {"policy": policy, "strategy": strategy}
+    try:
+        if strategy == "top_cone":
+            data["top_n"] = int(arg)
+        elif strategy == "random":
+            data["fraction"] = float(arg)
+        else:
+            data["ases"] = [int(x) for x in arg.split(",") if x]
+    except ValueError:
+        raise ValueError(
+            f"bad argument {arg!r} in --deploy spec {spec!r}"
+        ) from None
+    return data
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    from repro.adversarial import run_impact
+    from repro.config import AdversarialConfig, ConfigError
+
+    if args.attack_config:
+        with open(args.attack_config, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = {
+            "attack": {
+                "n_origin_hijacks": args.hijacks,
+                "n_forged_origin_hijacks": args.forged_hijacks,
+                "n_route_leaks": args.leaks,
+            },
+            "deployments": [
+                _parse_deploy_spec(spec) for spec in args.deploy
+            ],
+        }
+    try:
+        adversarial = AdversarialConfig.from_dict(data)
+    except ConfigError as exc:
+        print(f"invalid adversarial config: {exc}", file=sys.stderr)
+        return 2
+    if adversarial.attack.total_events() == 0:
+        print(
+            "nothing to attack: ask for events via --hijacks / "
+            "--forged-hijacks / --leaks (or an 'attack' section in "
+            "--attack-config)",
+            file=sys.stderr,
+        )
+        return 2
+    config = _config_from(args).replace(adversarial=adversarial)
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"invalid adversarial config: {exc}", file=sys.stderr)
+        return 2
+    workers = resolve_workers(args.workers)
+    if getattr(args, "propagation_engine", None):
+        os.environ["REPRO_PROPAGATION_ENGINE"] = args.propagation_engine
+    print(
+        f"building clean + polluted scenarios (ases={args.ases}, "
+        f"seed={args.seed}, events={adversarial.attack.total_events()}) ...",
+        file=sys.stderr,
+    )
+    report = run_impact(
+        config,
+        algorithms=args.algorithms,
+        workers=workers,
+        cache=_cache_from(args),
+    )
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"attack plan ({len(report.events)} event(s)):")
+    for event in report.events:
+        print(f"  {event.kind:<14s} AS{event.attacker} -> prefix of "
+              f"AS{event.victim}")
+    clean_paths, polluted_paths = report.corpus_sizes
+    print(f"corpus: {clean_paths} clean paths -> {polluted_paths} "
+          f"polluted (+{polluted_paths - clean_paths})")
+    print(f"{'algorithm':<11s} {'clean acc':>10s} {'polluted':>10s} "
+          f"{'delta':>9s} {'fake links':>11s}")
+    for impact in report.algorithms:
+        print(f"{impact.algorithm:<11s} {impact.clean.accuracy:>10.4f} "
+              f"{impact.polluted.accuracy:>10.4f} "
+              f"{impact.accuracy_delta:>+9.4f} "
+              f"{impact.new_fake_links:>+11d}")
+    print("bias drift:")
+    for drift in report.bias:
+        print(f"  {drift.grouping:<12s} coverage spread "
+              f"{drift.clean_spread:.4f} -> {drift.polluted_spread:.4f}, "
+              f"share drift {drift.share_drift:.4f}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.cli import run_lint_command
 
@@ -384,6 +493,35 @@ def make_parser() -> argparse.ArgumentParser:
                           help="machine-readable output")
     _add_scenario_options(p_corpus)
     p_corpus.set_defaults(func=cmd_corpus)
+
+    p_attack = sub.add_parser(
+        "attack",
+        help="pollute the corpus with hijacks/leaks and report "
+             "inference degradation (repro.adversarial)",
+    )
+    p_attack.add_argument("--hijacks", type=int, default=0,
+                          help="forged-prefix origin hijacks to inject")
+    p_attack.add_argument("--forged-hijacks", type=int, default=0,
+                          help="forged-origin hijacks to inject")
+    p_attack.add_argument("--leaks", type=int, default=0,
+                          help="route leaks to inject")
+    p_attack.add_argument("--deploy", action="append", default=[],
+                          metavar="POLICY:STRATEGY:ARG",
+                          help="security-policy deployment, e.g. "
+                               "rpki:top_cone:20, aspa:random:0.3, "
+                               "leak_prone:explicit:174,3356 (repeatable)")
+    p_attack.add_argument("--attack-config", default=None,
+                          help="JSON file with a full adversarial config "
+                               "(overrides the flags above)")
+    p_attack.add_argument("--algorithms", nargs="+",
+                          default=["asrank", "problink", "toposcope"],
+                          choices=ALGORITHM_NAMES,
+                          help="inference panel to compare "
+                               "(default: asrank problink toposcope)")
+    p_attack.add_argument("--json", action="store_true", default=False,
+                          help="machine-readable impact report")
+    _add_scenario_options(p_attack)
+    p_attack.set_defaults(func=cmd_attack)
 
     p_lint = sub.add_parser(
         "lint",

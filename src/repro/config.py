@@ -20,9 +20,18 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.topology.regions import Region
+
+
+class ConfigError(ValueError):
+    """A config dict failed schema validation.
+
+    Raised with a precise message — the offending key, the expected
+    type/range, and the accepted alternatives — so a bad scenario or
+    attack spec fails at load time instead of deep inside a generator.
+    """
 
 
 def _canonical(value: Any) -> Any:
@@ -259,6 +268,252 @@ class ValidationConfig:
     n_direct_reports: int = 60
 
 
+# ---------------------------------------------------------------------------
+# adversarial layer (policy deployments + attack events)
+# ---------------------------------------------------------------------------
+
+#: Security policies the registry in :mod:`repro.adversarial.policies`
+#: implements.  Kept here (not imported from the registry) so config
+#: validation has no dependency on the adversarial package.
+SECURITY_POLICY_NAMES: Tuple[str, ...] = (
+    "gao_rexford", "rpki", "aspa", "leak_prone",
+)
+
+#: How a policy's partial-deployment mask is drawn.
+DEPLOYMENT_STRATEGIES: Tuple[str, ...] = ("top_cone", "random", "explicit")
+
+
+def _check_keys(
+    data: Dict[str, Any], allowed: Tuple[str, ...], context: str
+) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ConfigError(
+            f"{context}: unknown key(s) {', '.join(repr(k) for k in unknown)}"
+            f" (accepted: {', '.join(allowed)})"
+        )
+
+
+def _check_int(data: Dict[str, Any], key: str, context: str,
+               default: int = 0, minimum: int = 0) -> int:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(
+            f"{context}: {key!r} must be an integer, "
+            f"got {type(value).__name__} ({value!r})"
+        )
+    if value < minimum:
+        raise ConfigError(
+            f"{context}: {key!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _check_fraction(data: Dict[str, Any], key: str, context: str,
+                    default: float = 0.0) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(
+            f"{context}: {key!r} must be a number in [0, 1], "
+            f"got {type(value).__name__} ({value!r})"
+        )
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(
+            f"{context}: {key!r} must be within [0, 1], got {value}"
+        )
+    return value
+
+
+@dataclass
+class PolicyDeployment:
+    """One security policy and the ASes that deploy it.
+
+    ``strategy`` picks the deployment mask: ``top_cone`` deploys at the
+    ``top_n`` ASes by customer-cone size (the "big networks adopt
+    first" model), ``random`` at a seeded ``fraction`` of all ASes, and
+    ``explicit`` at exactly ``ases``.  Masks are drawn from labelled
+    child RNG streams of the scenario seed, so a deployment is as
+    reproducible and cache-keyed as everything else in a config.
+    """
+
+    policy: str = "rpki"
+    strategy: str = "random"
+    top_n: int = 0
+    fraction: float = 0.0
+    ases: Tuple[int, ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: Any, context: str = "deployment") -> "PolicyDeployment":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"{context}: expected an object, got {type(data).__name__}"
+            )
+        _check_keys(
+            data, ("policy", "strategy", "top_n", "fraction", "ases"), context
+        )
+        if "policy" not in data:
+            raise ConfigError(f"{context}: missing required key 'policy'")
+        policy = data["policy"]
+        if not isinstance(policy, str):
+            raise ConfigError(
+                f"{context}: 'policy' must be a string, "
+                f"got {type(policy).__name__}"
+            )
+        strategy = data.get("strategy", "random")
+        if not isinstance(strategy, str):
+            raise ConfigError(
+                f"{context}: 'strategy' must be a string, "
+                f"got {type(strategy).__name__}"
+            )
+        raw_ases = data.get("ases", [])
+        if not isinstance(raw_ases, (list, tuple)) or any(
+            isinstance(a, bool) or not isinstance(a, int) for a in raw_ases
+        ):
+            raise ConfigError(
+                f"{context}: 'ases' must be a list of integer ASNs"
+            )
+        deployment = cls(
+            policy=policy,
+            strategy=strategy,
+            top_n=_check_int(data, "top_n", context),
+            fraction=_check_fraction(data, "fraction", context),
+            ases=tuple(raw_ases),
+        )
+        deployment.validate(context)
+        return deployment
+
+    def validate(self, context: str = "deployment") -> None:
+        if self.policy not in SECURITY_POLICY_NAMES:
+            raise ConfigError(
+                f"{context}: unknown policy {self.policy!r} "
+                f"(accepted: {', '.join(SECURITY_POLICY_NAMES)})"
+            )
+        if self.strategy not in DEPLOYMENT_STRATEGIES:
+            raise ConfigError(
+                f"{context}: unknown strategy {self.strategy!r} "
+                f"(accepted: {', '.join(DEPLOYMENT_STRATEGIES)})"
+            )
+        if self.strategy == "top_cone" and self.top_n < 1:
+            raise ConfigError(
+                f"{context}: strategy 'top_cone' needs top_n >= 1, "
+                f"got {self.top_n}"
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigError(
+                f"{context}: 'fraction' must be within [0, 1], "
+                f"got {self.fraction}"
+            )
+        if self.strategy == "explicit" and not self.ases:
+            raise ConfigError(
+                f"{context}: strategy 'explicit' needs a non-empty 'ases' list"
+            )
+
+
+@dataclass
+class AttackConfig:
+    """How many adversarial events pollute the collected corpus.
+
+    * **origin hijacks** — the attacker announces the victim's prefix
+      as its own (forged path of length 1);
+    * **forged-origin hijacks** — the attacker prepends the victim's
+      ASN, evading RPKI origin validation (path ``attacker, victim``);
+    * **route leaks** — a leak-prone AS re-exports a peer/provider
+      route to all neighbours as if customer-learned (RFC 7908 type 1).
+    """
+
+    n_origin_hijacks: int = 0
+    n_forged_origin_hijacks: int = 0
+    n_route_leaks: int = 0
+
+    @classmethod
+    def from_dict(cls, data: Any, context: str = "attack") -> "AttackConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"{context}: expected an object, got {type(data).__name__}"
+            )
+        _check_keys(
+            data,
+            ("n_origin_hijacks", "n_forged_origin_hijacks", "n_route_leaks"),
+            context,
+        )
+        return cls(
+            n_origin_hijacks=_check_int(data, "n_origin_hijacks", context),
+            n_forged_origin_hijacks=_check_int(
+                data, "n_forged_origin_hijacks", context
+            ),
+            n_route_leaks=_check_int(data, "n_route_leaks", context),
+        )
+
+    def total_events(self) -> int:
+        return (
+            self.n_origin_hijacks
+            + self.n_forged_origin_hijacks
+            + self.n_route_leaks
+        )
+
+    def validate(self, context: str = "attack") -> None:
+        for name in (
+            "n_origin_hijacks", "n_forged_origin_hijacks", "n_route_leaks"
+        ):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigError(f"{context}: {name!r} must be an integer")
+            if value < 0:
+                raise ConfigError(
+                    f"{context}: {name!r} must be >= 0, got {value}"
+                )
+
+
+@dataclass
+class AdversarialConfig:
+    """The adversarial scenario layer: policy deployments + attacks.
+
+    Attached to :class:`ScenarioConfig` as the optional ``adversarial``
+    field.  ``None`` (the default) means the honest baseline — and is
+    canonicalised *away*, so every pre-existing scenario fingerprint,
+    cache key, and golden snapshot is untouched by this layer existing.
+    """
+
+    deployments: Tuple[PolicyDeployment, ...] = ()
+    attack: AttackConfig = field(default_factory=AttackConfig)
+
+    @classmethod
+    def from_dict(cls, data: Any, context: str = "adversarial") -> "AdversarialConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"{context}: expected an object, got {type(data).__name__}"
+            )
+        _check_keys(data, ("deployments", "attack"), context)
+        raw_deployments = data.get("deployments", [])
+        if not isinstance(raw_deployments, (list, tuple)):
+            raise ConfigError(
+                f"{context}: 'deployments' must be a list of objects"
+            )
+        deployments = tuple(
+            PolicyDeployment.from_dict(d, f"{context}.deployments[{i}]")
+            for i, d in enumerate(raw_deployments)
+        )
+        attack = AttackConfig.from_dict(
+            data.get("attack", {}), f"{context}.attack"
+        )
+        config = cls(deployments=deployments, attack=attack)
+        config.validate(context)
+        return config
+
+    def validate(self, context: str = "adversarial") -> None:
+        seen = set()
+        for i, deployment in enumerate(self.deployments):
+            deployment.validate(f"{context}.deployments[{i}]")
+            if deployment.policy in seen:
+                raise ConfigError(
+                    f"{context}: duplicate deployment for policy "
+                    f"{deployment.policy!r}"
+                )
+            seen.add(deployment.policy)
+        self.attack.validate(f"{context}.attack")
+
+
 @dataclass
 class ScenarioConfig:
     """Top-level configuration: one object describes one experiment."""
@@ -267,6 +522,11 @@ class ScenarioConfig:
     topology: TopologyConfig = field(default_factory=TopologyConfig)
     measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
     validation: ValidationConfig = field(default_factory=ValidationConfig)
+
+    #: Optional adversarial layer (security-policy deployments and
+    #: hijack/leak events polluting the corpus).  ``None`` = honest
+    #: baseline; see :meth:`canonical_dict` for the fingerprint rule.
+    adversarial: Optional[AdversarialConfig] = None
 
     #: Snapshot date stamped into generated dataset files; the paper
     #: works on the April 2018 snapshot throughout.
@@ -310,8 +570,18 @@ class ScenarioConfig:
         Two configs with equal fields produce byte-identical canonical
         JSON regardless of how their dicts were built; the artifact
         cache derives its content address from this.
+
+        The optional ``adversarial`` layer is omitted entirely when it
+        is ``None``: an honest scenario canonicalises exactly as it did
+        before the layer existed, so fingerprints, cache keys, and the
+        golden snapshots are all unchanged.  A present adversarial
+        layer *is* canonicalised, which gives every distinct policy
+        deployment and attack mix its own content address.
         """
-        return _canonical(self)
+        data = _canonical(self)
+        if self.adversarial is None:
+            data.pop("adversarial", None)
+        return data
 
     def fingerprint(self) -> str:
         """SHA-256 over the canonical JSON of this config."""
@@ -345,3 +615,5 @@ class ScenarioConfig:
             raise ValueError("full_feed_prob must be a probability")
         if self.measurement.n_vantage_points < 1:
             raise ValueError("need at least one vantage point")
+        if self.adversarial is not None:
+            self.adversarial.validate()

@@ -8,6 +8,13 @@ entries keyed by a content address:
 
     key = sha256(canonical-JSON(config) + code version)[:20]
 
+The canonical JSON omits the adversarial layer when it is ``None``, so
+honest configs keep the fingerprints (and cache entries) they had
+before the adversarial subsystem existed; a config *with* an
+:class:`~repro.config.AdversarialConfig` canonicalises the full attack
+and deployment layer into the key, so polluted corpora are
+content-addressed apart from clean ones for free.
+
 Layout (one directory per scenario key under the cache root)::
 
     <root>/<key>/meta.json              fingerprint provenance + version

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.adversarial.attacks import AttackEvent
 
 from repro.analysis.bias import BiasProfile, bias_profile
 from repro.analysis.casestudy import CaseStudyResult, run_case_study
@@ -167,6 +170,20 @@ class Scenario:
             return list(links)
         orgs = self.topology.orgs
         return [key for key in links if not orgs.are_siblings(*key)]
+
+    def attack_events(self) -> List["AttackEvent"]:
+        """The attack plan polluting this scenario's corpus.
+
+        Recomputed from the config's labelled RNG streams (cheap), so
+        it is available whether or not the corpus came from the cache.
+        Empty for honest scenarios.
+        """
+        adv = self.config.adversarial
+        if adv is None or adv.attack.total_events() == 0:
+            return []
+        from repro.adversarial.attacks import plan_events
+
+        return plan_events(self.topology, self.config)
 
     def corpus_stats(self) -> Dict[str, object]:
         """Corpus counters, intern-table sizes, and columnar memory

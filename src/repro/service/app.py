@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Pattern, Tuple
 
 from repro.analysis.export import profile_rows, table_dict
-from repro.config import ScenarioConfig
+from repro.config import AdversarialConfig, ConfigError, ScenarioConfig
 from repro.pipeline.cache import resolve_cache
 from repro.scenario import ALGORITHM_NAMES
 from repro.service.http import (
@@ -61,6 +61,7 @@ MAX_BATCH_LINKS = 10_000
 #: Fields accepted by ``POST /v1/scenarios``.
 _SCENARIO_FIELDS = {
     "preset", "seed", "ases", "vps", "churn_rounds", "algorithms",
+    "adversarial",
 }
 
 Handler = Callable[..., Any]
@@ -127,6 +128,12 @@ class ReproService:
                   self._h_table),
             Route("GET", "/v1/casestudy", re.compile(r"/v1/casestudy"),
                   self._h_casestudy),
+            Route("GET", "/v1/adversarial/policies",
+                  re.compile(r"/v1/adversarial/policies"),
+                  self._h_adversarial_policies),
+            Route("POST", "/v1/adversarial/impact",
+                  re.compile(r"/v1/adversarial/impact"),
+                  self._h_adversarial_impact),
         ]
 
     # ------------------------------------------------------------------
@@ -347,6 +354,19 @@ class ReproService:
         churn = integer("churn_rounds", None)
         if churn is not None:
             config.measurement.n_churn_rounds = churn
+        adversarial = body.get("adversarial")
+        if adversarial is not None:
+            if not isinstance(adversarial, dict):
+                raise ApiError(
+                    400, "invalid_config",
+                    "'adversarial' must be a JSON object",
+                )
+            try:
+                config = config.replace(
+                    adversarial=AdversarialConfig.from_dict(adversarial)
+                )
+            except ConfigError as exc:
+                raise ApiError(400, "invalid_config", str(exc)) from exc
         try:
             config.validate()
         except ValueError as exc:
@@ -573,6 +593,77 @@ class ReproService:
             "algorithm": algorithm,
             "class": class_name,
             **payload,
+        }
+
+    async def _h_adversarial_policies(
+        self, request: Request
+    ) -> Tuple[int, Any]:
+        from repro.adversarial.policies import registered_policies
+
+        return 200, {
+            "policies": [
+                {
+                    "name": policy.name,
+                    "blocks": sorted(policy.blocks),
+                    "description": policy.description,
+                }
+                for policy in registered_policies()
+            ],
+        }
+
+    async def _h_adversarial_impact(
+        self, request: Request
+    ) -> Tuple[int, Any]:
+        """Clean-vs-polluted inference panel over pooled scenarios.
+
+        Builds (or reuses) both twins through the scenario pool, so
+        the heavy artifacts are shared with ordinary queries and
+        served by the artifact cache; the report itself is memoised on
+        the polluted entry.
+        """
+        from repro.adversarial.impact import compare_scenarios
+
+        body = request.json()
+        if not isinstance(body, dict):
+            raise ApiError(
+                400, "invalid_body", "request body must be a JSON object"
+            )
+        algorithms = body.get("algorithms", ["asrank", "problink",
+                                             "toposcope"])
+        if not isinstance(algorithms, list) or not all(
+            isinstance(name, str) for name in algorithms
+        ):
+            raise ApiError(
+                400, "invalid_config",
+                "'algorithms' must be a list of algorithm names",
+            )
+        for name in algorithms:
+            self._check_algorithm(name)
+        config = self._config_from_body(body)
+        adv = config.adversarial
+        if adv is None or adv.attack.total_events() == 0:
+            raise ApiError(
+                400, "invalid_config",
+                "'adversarial' with at least one attack event is "
+                "required for impact analysis",
+            )
+        clean_entry = await self.pool.get_or_build(
+            config.replace(adversarial=None)
+        )
+        entry = await self.pool.get_or_build(config)
+        clean_scenario = clean_entry.scenario
+        polluted_scenario = entry.scenario
+        report = await self._cached_report(
+            entry,
+            f"impact:{','.join(algorithms)}",
+            lambda: compare_scenarios(
+                clean_scenario, polluted_scenario, algorithms
+            ).to_dict(),
+        )
+        return 200, {
+            "scenario": entry.scenario_id,
+            "clean_scenario": clean_entry.scenario_id,
+            **report,
         }
 
 

@@ -1,0 +1,63 @@
+"""The ``repro attack`` command: parsing, output, and error exits."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _parse_deploy_spec, main
+
+ARGS = ["attack", "--ases", "250", "--vps", "25", "--seed", "11",
+        "--churn-rounds", "0"]
+
+
+class TestDeploySpecs:
+    def test_three_strategies(self):
+        assert _parse_deploy_spec("rpki:top_cone:25") == {
+            "policy": "rpki", "strategy": "top_cone", "top_n": 25,
+        }
+        assert _parse_deploy_spec("aspa:random:0.4") == {
+            "policy": "aspa", "strategy": "random", "fraction": 0.4,
+        }
+        assert _parse_deploy_spec("leak_prone:explicit:10,30") == {
+            "policy": "leak_prone", "strategy": "explicit",
+            "ases": [10, 30],
+        }
+
+    def test_malformed_specs_rejected(self):
+        for spec in ("rpki", "rpki:top_cone", "rpki:top_cone:many",
+                     "aspa:random:lots", "rpki:explicit:AS10"):
+            with pytest.raises(ValueError, match="--deploy"):
+                _parse_deploy_spec(spec)
+
+
+class TestAttackCommand:
+    def test_json_report(self, capsys):
+        code = main(ARGS + ["--hijacks", "2", "--leaks", "1",
+                            "--deploy", "rpki:top_cone:10", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_events"] == 3
+        assert {entry["algorithm"] for entry in payload["algorithms"]} == {
+            "asrank", "problink", "toposcope",
+        }
+
+    def test_text_report(self, capsys):
+        code = main(ARGS + ["--hijacks", "1", "--algorithms", "asrank"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attack plan (1 event(s)):" in out
+        assert "hijack_origin" in out
+        assert "bias drift:" in out
+
+    def test_no_events_is_a_clean_usage_error(self, capsys):
+        code = main(ARGS)
+        assert code == 2
+        assert "nothing to attack" in capsys.readouterr().err
+
+    def test_invalid_layer_is_a_clean_usage_error(self, capsys):
+        code = main(ARGS + ["--hijacks", "1",
+                            "--deploy", "bogus:random:0.5"])
+        assert code == 2
+        assert "unknown policy 'bogus'" in capsys.readouterr().err

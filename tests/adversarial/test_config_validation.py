@@ -1,0 +1,165 @@
+"""Schema validation of the adversarial config layer.
+
+Every malformed scenario/attack spec must fail at load time with a
+precise message — offending key, expected type/range, accepted
+alternatives — instead of deep inside a generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AdversarialConfig,
+    AttackConfig,
+    ConfigError,
+    PolicyDeployment,
+    ScenarioConfig,
+)
+
+
+def adv(data: dict) -> AdversarialConfig:
+    return AdversarialConfig.from_dict(data)
+
+
+class TestPreciseErrors:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ConfigError, match=r"unknown key\(s\) 'atack'"):
+            adv({"atack": {}})
+
+    def test_accepted_keys_listed_in_message(self):
+        with pytest.raises(ConfigError, match="accepted: deployments, attack"):
+            adv({"bogus": 1})
+
+    def test_unknown_attack_key(self):
+        with pytest.raises(
+            ConfigError, match=r"adversarial\.attack: unknown key\(s\) 'hijacks'"
+        ):
+            adv({"attack": {"hijacks": 3}})
+
+    def test_negative_event_count(self):
+        with pytest.raises(
+            ConfigError,
+            match=r"'n_origin_hijacks' must be >= 0, got -2",
+        ):
+            adv({"attack": {"n_origin_hijacks": -2}})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(
+            ConfigError, match=r"'n_route_leaks' must be an integer, got bool"
+        ):
+            adv({"attack": {"n_route_leaks": True}})
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(
+            ConfigError, match=r"'fraction' must be within \[0, 1\], got 1.5"
+        ):
+            adv({"deployments": [
+                {"policy": "rpki", "strategy": "random", "fraction": 1.5}
+            ]})
+
+    def test_fraction_wrong_type(self):
+        with pytest.raises(
+            ConfigError, match=r"'fraction' must be a number in \[0, 1\]"
+        ):
+            adv({"deployments": [
+                {"policy": "rpki", "strategy": "random", "fraction": "half"}
+            ]})
+
+    def test_unknown_policy_lists_alternatives(self):
+        with pytest.raises(
+            ConfigError,
+            match=r"unknown policy 'bgpsec' \(accepted: gao_rexford, rpki, "
+                  r"aspa, leak_prone\)",
+        ):
+            adv({"deployments": [{"policy": "bgpsec"}]})
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigError, match="unknown strategy 'all'"):
+            adv({"deployments": [{"policy": "rpki", "strategy": "all"}]})
+
+    def test_deployment_error_carries_index_context(self):
+        with pytest.raises(ConfigError, match=r"adversarial\.deployments\[1\]"):
+            adv({"deployments": [
+                {"policy": "rpki"},
+                {"policy": "aspa", "strategy": "top_cone"},  # top_n missing
+            ]})
+
+    def test_top_cone_needs_top_n(self):
+        with pytest.raises(
+            ConfigError, match=r"'top_cone' needs top_n >= 1, got 0"
+        ):
+            adv({"deployments": [{"policy": "rpki", "strategy": "top_cone"}]})
+
+    def test_explicit_needs_ases(self):
+        with pytest.raises(ConfigError, match="non-empty 'ases'"):
+            adv({"deployments": [{"policy": "aspa", "strategy": "explicit"}]})
+
+    def test_ases_must_be_integer_list(self):
+        with pytest.raises(ConfigError, match="list of integer ASNs"):
+            adv({"deployments": [
+                {"policy": "aspa", "strategy": "explicit", "ases": ["AS174"]}
+            ]})
+
+    def test_missing_policy_key(self):
+        with pytest.raises(ConfigError, match="missing required key 'policy'"):
+            adv({"deployments": [{"strategy": "random"}]})
+
+    def test_duplicate_policy_deployments(self):
+        with pytest.raises(
+            ConfigError, match="duplicate deployment for policy 'rpki'"
+        ):
+            adv({"deployments": [
+                {"policy": "rpki", "strategy": "random", "fraction": 0.2},
+                {"policy": "rpki", "strategy": "top_cone", "top_n": 5},
+            ]})
+
+    def test_non_object_inputs(self):
+        with pytest.raises(ConfigError, match="expected an object, got list"):
+            adv([])
+        with pytest.raises(ConfigError, match="'deployments' must be a list"):
+            adv({"deployments": {"policy": "rpki"}})
+        with pytest.raises(ConfigError, match="expected an object, got int"):
+            AttackConfig.from_dict(3)
+        with pytest.raises(ConfigError, match="expected an object, got str"):
+            PolicyDeployment.from_dict("rpki")
+
+    def test_config_error_is_a_value_error(self):
+        # Callers that guard with `except ValueError` keep working.
+        assert issubclass(ConfigError, ValueError)
+
+
+class TestFingerprintRules:
+    def test_none_adversarial_is_canonicalised_away(self):
+        config = ScenarioConfig.small(seed=7)
+        assert config.adversarial is None
+        assert "adversarial" not in config.canonical_dict()
+
+    def test_present_adversarial_is_canonicalised(self):
+        config = ScenarioConfig.small(seed=7).replace(
+            adversarial=adv({"attack": {"n_origin_hijacks": 1}})
+        )
+        data = config.canonical_dict()
+        assert data["adversarial"]["attack"]["n_origin_hijacks"] == 1
+
+    def test_scenario_validate_covers_adversarial(self):
+        config = ScenarioConfig.small(seed=7)
+        config.adversarial = AdversarialConfig(
+            attack=AttackConfig(n_route_leaks=-1)
+        )
+        with pytest.raises(ConfigError, match="must be >= 0"):
+            config.validate()
+
+    def test_valid_layer_round_trips(self):
+        layer = adv({
+            "deployments": [
+                {"policy": "rpki", "strategy": "top_cone", "top_n": 10},
+                {"policy": "leak_prone", "strategy": "explicit",
+                 "ases": [174, 3356]},
+            ],
+            "attack": {"n_origin_hijacks": 2, "n_route_leaks": 1},
+        })
+        assert layer.attack.total_events() == 3
+        assert layer.deployments[1].ases == (174, 3356)
+        config = ScenarioConfig.small(seed=7).replace(adversarial=layer)
+        config.validate()

@@ -1,0 +1,131 @@
+"""The security-policy registry and deployment-mask resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversarial.policies import (
+    SecurityPolicy,
+    blocked_ases,
+    get_policy,
+    register_policy,
+    registered_policies,
+    resolve_deployment,
+    resolve_deployments,
+)
+from repro.config import (
+    AdversarialConfig,
+    PolicyDeployment,
+    SECURITY_POLICY_NAMES,
+)
+
+
+class TestRegistry:
+    def test_builtin_policies_registered(self):
+        names = [policy.name for policy in registered_policies()]
+        assert names == sorted(SECURITY_POLICY_NAMES)
+
+    def test_blocking_semantics(self):
+        assert get_policy("gao_rexford").blocks == frozenset()
+        assert get_policy("rpki").blocks == {"hijack_origin"}
+        assert get_policy("aspa").blocks == {"hijack_forged", "leak"}
+        assert get_policy("leak_prone").blocks == frozenset()
+
+    def test_unknown_policy_lookup(self):
+        with pytest.raises(KeyError, match="unknown security policy 'bgpsec'"):
+            get_policy("bgpsec")
+
+    def test_reregistering_identical_policy_is_idempotent(self):
+        register_policy(get_policy("rpki"))
+
+    def test_conflicting_reregistration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy(SecurityPolicy(
+                name="rpki", blocks=frozenset({"leak"}), description="nope",
+            ))
+
+    def test_unknown_attack_kind_rejected_at_definition(self):
+        with pytest.raises(ValueError, match="unknown attack kinds"):
+            SecurityPolicy(
+                name="x", blocks=frozenset({"ddos"}), description="",
+            )
+
+
+class TestDeploymentMasks:
+    def test_top_cone_picks_biggest_cones(self, tiny_topology):
+        deployment = PolicyDeployment(
+            policy="rpki", strategy="top_cone", top_n=2
+        )
+        mask = resolve_deployment(deployment, tiny_topology, seed=1)
+        cones = tiny_topology.graph.customer_cone_sizes()
+        threshold = sorted(cones.values(), reverse=True)[1]
+        assert len(mask) == 2
+        assert all(cones[asn] >= threshold for asn in mask)
+        assert mask == tuple(sorted(mask))
+
+    def test_top_cone_ties_break_by_lower_asn(self, tiny_topology):
+        all_ases = resolve_deployment(
+            PolicyDeployment(policy="rpki", strategy="top_cone", top_n=999),
+            tiny_topology, seed=1,
+        )
+        assert all_ases == tuple(sorted(tiny_topology.graph.asns()))
+
+    def test_random_mask_is_seeded_and_fractional(self, tiny_topology):
+        deployment = PolicyDeployment(
+            policy="aspa", strategy="random", fraction=0.5
+        )
+        mask_a = resolve_deployment(deployment, tiny_topology, seed=3)
+        mask_b = resolve_deployment(deployment, tiny_topology, seed=3)
+        assert mask_a == mask_b
+        n = len(tiny_topology.graph.asns())
+        assert 0 < len(mask_a) < n
+        full = resolve_deployment(
+            PolicyDeployment(policy="aspa", strategy="random", fraction=1.0),
+            tiny_topology, seed=3,
+        )
+        assert len(full) == n
+
+    def test_random_masks_differ_across_policies(self, tiny_topology):
+        # Each policy draws from its own labelled stream, so two
+        # policies with the same fraction do not deploy identically.
+        rpki = resolve_deployment(
+            PolicyDeployment(policy="rpki", strategy="random", fraction=0.5),
+            tiny_topology, seed=3,
+        )
+        aspa = resolve_deployment(
+            PolicyDeployment(policy="aspa", strategy="random", fraction=0.5),
+            tiny_topology, seed=3,
+        )
+        assert rpki != aspa
+
+    def test_explicit_mask(self, tiny_topology):
+        deployment = PolicyDeployment(
+            policy="leak_prone", strategy="explicit", ases=(40, 10, 30)
+        )
+        mask = resolve_deployment(deployment, tiny_topology, seed=9)
+        assert mask == (10, 30, 40)
+
+    def test_explicit_unknown_as_rejected(self, tiny_topology):
+        deployment = PolicyDeployment(
+            policy="rpki", strategy="explicit", ases=(10, 99999)
+        )
+        with pytest.raises(ValueError, match="not in the topology"):
+            resolve_deployment(deployment, tiny_topology, seed=9)
+
+
+class TestBlockedSets:
+    def test_blocked_union_respects_policy_blocks(self, tiny_topology):
+        layer = AdversarialConfig.from_dict({
+            "deployments": [
+                {"policy": "rpki", "strategy": "explicit", "ases": [10, 30]},
+                {"policy": "aspa", "strategy": "explicit", "ases": [30, 40]},
+                {"policy": "leak_prone", "strategy": "explicit", "ases": [50]},
+            ],
+        })
+        deployments = resolve_deployments(layer, tiny_topology, seed=2)
+        assert blocked_ases(deployments, "hijack_origin") == {10, 30}
+        assert blocked_ases(deployments, "hijack_forged") == {30, 40}
+        assert blocked_ases(deployments, "leak") == {30, 40}
+
+    def test_no_deployments_blocks_nothing(self):
+        assert blocked_ases({}, "hijack_origin") == set()

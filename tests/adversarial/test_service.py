@@ -1,0 +1,121 @@
+"""The ``/v1/adversarial/*`` routes over a real ephemeral socket."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.config import SECURITY_POLICY_NAMES
+from repro.service import ReproService, ServiceClient, ServiceError, serve_in_thread
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+#: Small enough that both twins build in a couple of seconds.
+SCENARIO = {"preset": "small", "seed": 11, "ases": 140, "vps": 25,
+            "churn_rounds": 0}
+LAYER = {
+    "attack": {"n_origin_hijacks": 2, "n_route_leaks": 1},
+    "deployments": [
+        {"policy": "rpki", "strategy": "top_cone", "top_n": 10},
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def server() -> Iterator[ReproService]:
+    service = ReproService(pool_size=3)
+    with serve_in_thread(service) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server: ReproService) -> Iterator[ServiceClient]:
+    with ServiceClient(port=server.port) as instance:
+        yield instance
+
+
+@pytest.fixture(scope="module")
+def impact(client: ServiceClient) -> dict:
+    return client.request(
+        "POST", "/v1/adversarial/impact", {**SCENARIO, "adversarial": LAYER}
+    )
+
+
+def test_policy_listing(client):
+    listing = client.request("GET", "/v1/adversarial/policies")
+    names = [policy["name"] for policy in listing["policies"]]
+    assert names == sorted(SECURITY_POLICY_NAMES)
+    by_name = {policy["name"]: policy for policy in listing["policies"]}
+    assert by_name["rpki"]["blocks"] == ["hijack_origin"]
+    assert by_name["aspa"]["blocks"] == ["hijack_forged", "leak"]
+    assert by_name["gao_rexford"]["description"]
+
+
+def test_impact_report_shape(impact):
+    assert impact["scenario"] != impact["clean_scenario"]
+    assert impact["n_events"] == len(impact["events"]) == 3
+    assert impact["corpus_paths_polluted"] > impact["corpus_paths_clean"]
+    assert {entry["algorithm"] for entry in impact["algorithms"]} == {
+        "asrank", "problink", "toposcope",
+    }
+    assert [drift["grouping"] for drift in impact["bias"]] == [
+        "regional", "topological",
+    ]
+
+
+def test_impact_report_is_memoised(client, impact, server):
+    builds_before = server.pool.stats()["builds"]
+    again = client.request(
+        "POST", "/v1/adversarial/impact", {**SCENARIO, "adversarial": LAYER}
+    )
+    assert again == impact
+    assert server.pool.stats()["builds"] == builds_before
+
+
+def test_polluted_scenario_admitted_to_the_pool(client, impact):
+    listing = client.scenarios()
+    ids = {entry["scenario"] for entry in listing["scenarios"]}
+    assert impact["scenario"] in ids
+    assert impact["clean_scenario"] in ids
+
+
+def test_scenario_build_accepts_adversarial_field(client, impact):
+    built = client.request(
+        "POST", "/v1/scenarios", {**SCENARIO, "adversarial": LAYER}
+    )
+    assert built["scenario"] == impact["scenario"]
+    clean = client.request("POST", "/v1/scenarios", SCENARIO)
+    assert clean["scenario"] == impact["clean_scenario"]
+
+
+def test_impact_requires_attack_events(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/v1/adversarial/impact", SCENARIO)
+    assert excinfo.value.status == 400
+    error = excinfo.value.payload["error"]
+    assert error["code"] == "invalid_config"
+    assert "at least one attack event" in error["message"]
+
+
+def test_invalid_adversarial_layer_rejected(client):
+    bad = {**SCENARIO, "adversarial": {"attack": {"hijacks": 1}}}
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/v1/adversarial/impact", bad)
+    assert excinfo.value.status == 400
+    error = excinfo.value.payload["error"]
+    assert error["code"] == "invalid_config"
+    assert "unknown key(s) 'hijacks'" in error["message"]
+
+    not_an_object = {**SCENARIO, "adversarial": [1, 2]}
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/v1/scenarios", not_an_object)
+    assert excinfo.value.status == 400
+    assert "JSON object" in excinfo.value.payload["error"]["message"]
+
+
+def test_invalid_algorithm_rejected(client):
+    body = {**SCENARIO, "adversarial": LAYER, "algorithms": ["asrank", "x"]}
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/v1/adversarial/impact", body)
+    assert excinfo.value.status in (400, 404)

@@ -1,0 +1,109 @@
+"""Devtools performance benchmarks: whole-program lint runtime.
+
+Not paper experiments — these time the lint gate itself, because PR 8
+put it on every CI run with the interprocedural pass enabled:
+
+* cold whole-program lint over ``src`` (summary extraction + graph
+  assembly + the FLOW/PERF/CONC rules, empty cache),
+* warm whole-program lint (every module summary served from the
+  content-hash cache — the steady state CI actually pays for),
+* the per-file-only pass, as the floor the program pass is priced
+  against.
+
+Medians land in ``BENCH_devtools.json`` (see
+:mod:`repro.utils.benchreport`) together with the cache hit counts and
+project-graph size, so a regression in analysis cost — or a cache that
+silently stopped hitting — shows up as a diffable number.  Set
+``BENCH_OUTPUT_DIR`` to redirect the report.
+"""
+
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+import pytest
+
+from repro.devtools import LintConfig, run_lint
+from repro.devtools.analysis import SummaryCache
+from repro.utils.benchreport import merge_bench_report
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: name -> {"median_seconds": ..., "min_seconds": ..., ...}
+_RESULTS: Dict[str, Dict[str, Any]] = {}
+#: top-level report keys (graph size, cache behaviour).
+_EXTRA: Dict[str, Any] = {}
+
+
+def _record(name: str, benchmark, **extra: Any) -> None:
+    stats = benchmark.stats.stats
+    entry: Dict[str, Any] = {
+        "median_seconds": float(stats.median),
+        "min_seconds": float(stats.min),
+        "rounds": int(stats.rounds),
+    }
+    entry.update(extra)
+    _RESULTS[name] = entry
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_report():
+    """Write ``BENCH_devtools.json`` after the module's benchmarks."""
+    yield
+    if not _RESULTS:
+        return
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR") or "."
+    path = os.path.join(out_dir, "BENCH_devtools.json")
+    report = merge_bench_report(path, dict(_RESULTS), extra=dict(_EXTRA))
+    print(f"\n[bench] wrote {path} ({len(report['benchmarks'])} entries)")
+
+
+def test_perf_lint_per_file_only(benchmark):
+    def run():
+        return run_lint([SRC], LintConfig())
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.findings == []
+    _record("lint_per_file_src", benchmark,
+            files=result.files_checked)
+
+
+def test_perf_lint_whole_program_cold(benchmark, tmp_path):
+    counter = iter(range(1000))
+
+    def run():
+        # A fresh cache directory per round: every summary is a miss.
+        cache = SummaryCache(tmp_path / f"cold{next(counter)}")
+        return run_lint([SRC], LintConfig(), whole_program=True,
+                        summary_cache=cache)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.findings == []
+    assert result.analysis["hits"] == 0
+    _record("lint_whole_program_cold", benchmark,
+            modules=result.analysis["modules"],
+            call_edges=result.analysis["call_edges"])
+    _EXTRA["project_graph"] = {
+        "modules": result.analysis["modules"],
+        "functions": result.analysis["functions"],
+        "call_edges": result.analysis["call_edges"],
+    }
+
+
+def test_perf_lint_whole_program_warm(benchmark, tmp_path):
+    root = tmp_path / "warm"
+    # Prime once so every benchmark round runs fully warm.
+    primed = run_lint([SRC], LintConfig(), whole_program=True,
+                      summary_cache=SummaryCache(root))
+    assert primed.analysis["stores"] == primed.analysis["modules"]
+
+    def run():
+        return run_lint([SRC], LintConfig(), whole_program=True,
+                        summary_cache=SummaryCache(root))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.findings == []
+    assert result.analysis["misses"] == 0
+    assert result.findings == primed.findings  # byte-identical warm run
+    _record("lint_whole_program_warm", benchmark,
+            cache_hits=result.analysis["hits"])

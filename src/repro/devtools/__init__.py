@@ -10,12 +10,16 @@ rule engine walks every module once and reports contract violations as
 
 Layers:
 
-* :mod:`repro.devtools.registry` — rule base class + registry;
-* :mod:`repro.devtools.rules` — the built-in ruleset (DET/ASYNC/
-  PICKLE/DEP/API families);
+* :mod:`repro.devtools.registry` — rule base classes (per-file
+  :class:`Rule`, whole-program :class:`ProgramRule`) + registry;
+* :mod:`repro.devtools.rules` — the built-in ruleset (per-file
+  DET/ASYNC/PICKLE/DEP/API families; interprocedural FLOW/PERF/CONC
+  families run under ``repro lint --whole-program``);
+* :mod:`repro.devtools.analysis` — the whole-program layer: cached
+  per-module summaries assembled into a project call graph;
 * :mod:`repro.devtools.engine` — discovery, single-pass dispatch,
   ``# repro: noqa[RULE-ID]`` suppressions with unused-marker
-  detection;
+  detection, and the optional whole-program pass;
 * :mod:`repro.devtools.baseline` — committed grandfather file so the
   gate can be strict for *new* findings from day one;
 * :mod:`repro.devtools.reporters` — byte-stable text/JSON reports;
@@ -32,7 +36,7 @@ from repro.devtools.engine import (
     run_lint,
 )
 from repro.devtools.findings import Finding
-from repro.devtools.registry import Rule, all_rules, register
+from repro.devtools.registry import ProgramRule, Rule, all_rules, register
 from repro.devtools.reporters import render_json, render_text
 
 __all__ = [
@@ -40,6 +44,7 @@ __all__ = [
     "Finding",
     "LintConfig",
     "LintResult",
+    "ProgramRule",
     "Rule",
     "all_rules",
     "lint_file",

@@ -1,0 +1,95 @@
+"""Content-hash cache for per-module analysis summaries.
+
+A summary is a pure function of ``(ANALYSIS_VERSION, extraction config,
+relpath, source bytes)``, so the cache key is simply the SHA-256 of
+that tuple and no invalidation protocol is needed: editing a file,
+bumping the analysis version, or changing an extraction knob all
+produce a different key, and the stale entry is never read again
+(a sweep of very old files can reclaim the directory at leisure).
+
+Entries are single JSON files, written atomically (unique temp name +
+``os.replace``) with sorted keys and no timestamps, so a given summary
+serialises byte-identically on every run and the cache directory
+itself diffs cleanly.  A belt-and-braces ``analysis_version`` field
+inside each entry is re-checked on load so a manually copied or
+tampered file from another version is rejected rather than trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.devtools.analysis import summaries as _summaries
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR/analysis`` or ``~/.cache/repro/analysis``."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(root) if root else Path("~/.cache/repro").expanduser()
+    return base / "analysis"
+
+
+def summary_key(relpath: str, source: str, config_digest: str) -> str:
+    """The content hash addressing one module summary."""
+    payload = (
+        f"repro-analysis:{_summaries.ANALYSIS_VERSION}:"
+        f"{config_digest}:{relpath}:".encode("utf-8")
+        + source.encode("utf-8")
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+class SummaryCache:
+    """On-disk summary store keyed by content hash (see module doc)."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._counter = 0
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path_for(key)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(document, dict)
+                or document.get("analysis_version")
+                != _summaries.ANALYSIS_VERSION):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document
+
+    def put(self, key: str, summary: Dict[str, Any]) -> None:
+        path = self._path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._counter += 1
+            tmp = path.with_name(
+                f".{path.name}.{os.getpid()}.{self._counter}.tmp")
+            tmp.write_text(
+                json.dumps(summary, sort_keys=True,
+                           separators=(",", ":")) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full cache directory degrades to a
+            # cache-less run, never to a failed lint.
+            return
+        self.stores += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}

@@ -1,0 +1,65 @@
+"""Assemble a :class:`ProjectGraph` from files, through the cache.
+
+The engine hands over the ``(relpath, source, tree)`` triples it
+already parsed for the per-file pass, so a cold whole-program run costs
+one summary extraction per module on top of normal linting, and a warm
+run (cache hit) costs only the content hash.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.devtools.analysis.cache import SummaryCache, summary_key
+from repro.devtools.analysis.graph import ProjectGraph
+from repro.devtools.analysis.summaries import summarize_module
+
+
+def extraction_config_digest(config) -> str:
+    """Digest of the LintConfig knobs that shape summary *extraction*.
+
+    Rule-time knobs (sink contexts, entry-point modules) do not
+    invalidate cached summaries — only knobs that change what the
+    summarizer records do.
+    """
+    payload = repr(tuple(config.perf_hot_names))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def build_project(
+    items: Iterable[Tuple[str, str, Optional[ast.Module]]],
+    config,
+    cache: Optional[SummaryCache] = None,
+) -> Tuple[ProjectGraph, Dict[str, int]]:
+    """``(graph, cache stats)`` for ``(relpath, source, tree)`` items.
+
+    ``tree`` may be ``None`` for files that did not parse (they carry a
+    SYN001 finding from the per-file pass); such files contribute no
+    summary.  When ``tree`` is ``None`` but the source *does* parse
+    (the --call-graph path reads files itself), it is parsed here.
+    """
+    digest = extraction_config_digest(config)
+    summaries: List[Dict[str, Any]] = []
+    for relpath, source, tree in items:
+        key = summary_key(relpath, source, digest)
+        summary = cache.get(key) if cache is not None else None
+        if summary is None:
+            if tree is None:
+                try:
+                    tree = ast.parse(source, filename=relpath)
+                except SyntaxError:
+                    continue
+            summary = summarize_module(
+                relpath, tree, tuple(config.perf_hot_names))
+            if cache is not None:
+                cache.put(key, summary)
+        summaries.append(summary)
+    graph = ProjectGraph(summaries)
+    stats = dict(graph.stats())
+    if cache is not None:
+        stats.update(cache.stats())
+    else:
+        stats.update({"hits": 0, "misses": len(summaries), "stores": 0})
+    return graph, stats

@@ -2,17 +2,20 @@
 
 Usage::
 
-    repro lint                          # lint src/ against the baseline
+    repro lint                          # lint the default trees
     repro lint src tests/devtools       # explicit targets
     repro lint --format json            # CI gate output
+    repro lint --whole-program          # + interprocedural FLOW/PERF/CONC
+    repro lint --call-graph repro.bgp   # dump resolved call edges
     repro lint --write-baseline         # grandfather current findings
-    repro lint --explain DET002         # print a rule's rationale
+    repro lint --explain FLOW101        # print a rule's rationale
     repro lint --list-rules             # catalog of registered rules
 
 Exit codes: ``0`` clean (or baseline written), ``1`` at least one
-non-baselined finding, ``2`` usage/IO error.  The default target is
-``src`` when it exists, else the current directory — so the command
-does the right thing from the repository root with zero arguments.
+non-baselined finding, ``2`` usage/IO error.  The default targets are
+``src``, ``benchmarks`` and ``examples`` (whichever exist), else the
+current directory — so the command does the right thing from the
+repository root with zero arguments.
 """
 
 from __future__ import annotations
@@ -23,7 +26,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.devtools.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.devtools.engine import LintConfig, run_lint
+from repro.devtools.engine import (
+    LintConfig,
+    _relpath,
+    discover_files,
+    run_lint,
+)
 from repro.devtools.registry import all_rules
 from repro.devtools.reporters import render_json, render_text
 
@@ -54,6 +62,21 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dep-allow", default=None, metavar="NAMES",
                         help="extra imports DEP001 accepts, bare roots "
                              "or dotted submodules (comma-separated)")
+    parser.add_argument("--whole-program", action="store_true",
+                        default=False,
+                        help="also run the interprocedural FLOW/PERF/"
+                             "CONC rules over the project call graph")
+    parser.add_argument("--call-graph", nargs="?", const="", default=None,
+                        metavar="PREFIX",
+                        help="print resolved call edges (optionally "
+                             "filtered to callers under PREFIX) and exit")
+    parser.add_argument("--analysis-cache", default=None, metavar="DIR",
+                        help="directory for whole-program summary cache "
+                             "(default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro)")
+    parser.add_argument("--no-analysis-cache", action="store_true",
+                        default=False,
+                        help="disable the summary cache for this run")
     parser.add_argument("--verbose", action="store_true", default=False,
                         help="also show baselined findings (text format)")
     parser.add_argument("--list-rules", action="store_true", default=False,
@@ -69,13 +92,52 @@ def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
 
 
 def _default_paths() -> List[str]:
-    return ["src"] if Path("src").is_dir() else ["."]
+    """``src`` + ``benchmarks`` + ``examples`` (whichever exist).
+
+    Falls back to the current directory when none is present, so the
+    zero-argument invocation works both from the repository root and
+    from an arbitrary project.
+    """
+    present = [name for name in ("src", "benchmarks", "examples")
+               if Path(name).is_dir()]
+    return present or ["."]
+
+
+def _summary_cache(args: argparse.Namespace):
+    """The SummaryCache for this invocation, or None when disabled."""
+    if args.no_analysis_cache:
+        return None
+    from repro.devtools.analysis.cache import (
+        SummaryCache,
+        default_cache_root,
+    )
+    root = (Path(args.analysis_cache) if args.analysis_cache
+            else default_cache_root())
+    return SummaryCache(root)
 
 
 def _resolve_baseline(args: argparse.Namespace) -> Path:
     if args.baseline is not None:
         return Path(args.baseline)
     return Path(DEFAULT_BASELINE_NAME)
+
+
+def _run_call_graph(paths: List[str], config: LintConfig,
+                    args: argparse.Namespace) -> int:
+    """``--call-graph``: dump the resolved project call edges."""
+    from repro.devtools.analysis.project import build_project
+
+    items = []
+    for path in discover_files(paths):
+        items.append((_relpath(path),
+                      path.read_text(encoding="utf-8"), None))
+    project, stats = build_project(items, config, _summary_cache(args))
+    for line in project.render_edges(args.call_graph):
+        print(line)
+    print(f"# {stats['modules']} modules, {stats['functions']} "
+          f"functions, {stats['call_edges']} call edges",
+          file=sys.stderr)
+    return EXIT_CLEAN
 
 
 def run_lint_command(args: argparse.Namespace) -> int:
@@ -105,18 +167,29 @@ def run_lint_command(args: argparse.Namespace) -> int:
     baseline_path = _resolve_baseline(args)
 
     try:
+        if args.call_graph is not None:
+            return _run_call_graph(paths, config, args)
+        cache = _summary_cache(args) if args.whole_program else None
         if args.write_baseline:
             # Findings are computed against an empty baseline, recorded
             # verbatim, and the run reports clean: the whole point is
             # to draw the line here.
-            result = run_lint(paths, config, baseline=Baseline())
+            result = run_lint(paths, config, baseline=Baseline(),
+                              whole_program=args.whole_program,
+                              summary_cache=cache)
             Baseline.from_findings(result.findings).dump(baseline_path)
             print(f"wrote {len(result.findings)} finding(s) to "
                   f"{baseline_path}", file=sys.stderr)
             return EXIT_CLEAN
         baseline = Baseline.load(baseline_path)
-        result = run_lint(paths, config, baseline=baseline)
-    except (FileNotFoundError, ValueError) as exc:
+        result = run_lint(paths, config, baseline=baseline,
+                          whole_program=args.whole_program,
+                          summary_cache=cache)
+    except (OSError, ValueError) as exc:
+        # OSError covers missing/unreadable targets (FileNotFoundError,
+        # PermissionError, IsADirectoryError); ValueError covers
+        # undecodable bytes and malformed baselines.  All are usage/
+        # environment errors, not findings — report cleanly, exit 2.
         print(f"repro lint: {exc}", file=sys.stderr)
         return EXIT_ERROR
 

@@ -64,6 +64,35 @@ class LintConfig:
     allowed_imports: Tuple[str, ...] = ("numpy", "numpy.lib.format")
     #: Extra allowed imports (CLI ``--dep-allow``; roots or dotted).
     extra_allowed_imports: Tuple[str, ...] = ()
+    #: Per-tree DEP001 allowances: a path *segment* -> extra imports
+    #: files under that segment may use.  The benchmark and test trees
+    #: run under pytest (and benchmarks import their own conftest);
+    #: that dependency is real there and wrong everywhere else.
+    tree_allowed_imports: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+        ("benchmarks", ("pytest", "conftest")),
+        ("tests", ("pytest", "conftest")),
+    )
+
+    # -- whole-program analysis knobs (``repro lint --whole-program``) --
+    #: Function-name substrings marking FLOW1xx sink functions
+    #: (fingerprint / cache-key / artifact-serialisation builders).
+    flow_sink_contexts: Tuple[str, ...] = (
+        "key", "fingerprint", "digest", "serialize",
+    )
+    #: Dotted module prefixes whose functions are PERF0xx hot entry
+    #: points; anything they reach through the call graph is hot.
+    perf_entry_modules: Tuple[str, ...] = (
+        "repro.bgp.propagation", "repro.inference",
+        "repro.pipeline.columnar",
+    )
+    #: Name components that mark a loop iterable as a corpus/route/
+    #: topology structure (affects summary extraction and its cache).
+    perf_hot_names: Tuple[str, ...] = (
+        "corpus", "paths", "routes", "route_tree", "links", "topology",
+    )
+    #: Qualname substrings exempting a function from PERF0xx (the
+    #: legacy dict engine is the sanctioned scalar baseline).
+    perf_exempt_markers: Tuple[str, ...] = ("legacy",)
 
 
 @dataclass
@@ -147,6 +176,9 @@ class LintResult:
     suppressed: int
     stale_baseline: List[Dict[str, object]]
     files_checked: int
+    #: Whole-program pass statistics (modules/functions/edges, summary
+    #: cache hits/misses) — ``None`` unless the pass ran.
+    analysis: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -201,11 +233,13 @@ def _annotate_parents(tree: ast.Module) -> None:
 
 def lint_file(path: Path, config: LintConfig,
               rule_ids: Sequence[str]) -> Tuple[List[Finding], int]:
-    """Lint one file.
+    """Lint one file (per-file rules only).
 
     Returns ``(findings, n_suppressed)``: the findings that survive
     noqa suppression (plus one ``SUP001`` per unused marker) and the
-    number of findings the file's markers absorbed.
+    number of findings the file's markers absorbed.  Program-scope
+    rule ids are ignored — they need the project graph and only run
+    through :func:`run_lint` with ``whole_program=True``.
     """
     relpath = _relpath(path)
     source = path.read_text(encoding="utf-8")
@@ -222,6 +256,8 @@ def lint_file(path: Path, config: LintConfig,
     _annotate_parents(tree)
 
     registry = all_rules()
+    rule_ids = [rule_id for rule_id in rule_ids
+                if registry[rule_id].scope == "module"]
     rules = [registry[rule_id]() for rule_id in rule_ids]
     ctx = ModuleContext(path=path, relpath=relpath, source=source,
                         tree=tree, config=config)
@@ -254,18 +290,103 @@ def run_lint(
     paths: Sequence[Union[str, Path]],
     config: Optional[LintConfig] = None,
     baseline: Optional[Baseline] = None,
+    whole_program: bool = False,
+    summary_cache: Optional[object] = None,
 ) -> LintResult:
-    """Lint ``paths`` and partition the findings against ``baseline``."""
+    """Lint ``paths`` and partition the findings against ``baseline``.
+
+    With ``whole_program=True`` the per-file pass is followed by the
+    interprocedural pass: every parsed tree is summarised (through
+    ``summary_cache`` when one is given), the summaries are assembled
+    into a project call graph, and each registered program-scope rule
+    runs against it.  ``# repro: noqa`` markers apply to program
+    findings exactly as to per-file ones, and the unused-suppression
+    check (SUP001) is deferred until both passes have had the chance
+    to consume markers.
+    """
     config = config or LintConfig()
+    registry = all_rules()
     rule_ids = resolve_rule_ids(config.select, config.ignore)
+    module_ids = [rid for rid in rule_ids
+                  if registry[rid].scope == "module"]
+    program_ids = [rid for rid in rule_ids
+                   if registry[rid].scope == "program"]
     files = discover_files(paths)
 
     raw: List[Finding] = []
     suppressed_total = 0
+    # (relpath, source, tree-or-None, suppression index) per file, kept
+    # so the program pass reuses the parses and the markers.
+    per_file: List[Tuple[str, str, Optional[ast.Module],
+                         SuppressionIndex]] = []
     for path in files:
-        kept, n_suppressed = lint_file(path, config, rule_ids)
-        suppressed_total += n_suppressed
-        raw.extend(kept)
+        relpath = _relpath(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree: Optional[ast.Module] = ast.parse(
+                source, filename=str(path))
+        except SyntaxError as exc:
+            raw.append(Finding(
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule_id=SYNTAX_ERROR_ID,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            per_file.append((relpath, source, None,
+                             SuppressionIndex.from_source(source)))
+            continue
+        _annotate_parents(tree)
+        rules = [registry[rule_id]() for rule_id in module_ids]
+        ctx = ModuleContext(path=path, relpath=relpath, source=source,
+                            tree=tree, config=config)
+        for rule in rules:
+            rule.begin_module(ctx)
+        Walker(rules, ctx).visit(tree)
+        for rule in rules:
+            rule.end_module(ctx)
+        suppressions = SuppressionIndex.from_source(source)
+        for finding in ctx.findings:
+            if suppressions.suppresses(finding.line, finding.rule_id):
+                suppressed_total += 1
+            else:
+                raw.append(finding)
+        per_file.append((relpath, source, tree, suppressions))
+
+    analysis: Optional[Dict[str, object]] = None
+    if whole_program and program_ids:
+        from repro.devtools.analysis.project import build_project
+
+        project, analysis = build_project(
+            [(relpath, source, tree)
+             for relpath, source, tree, _ in per_file],
+            config, summary_cache)
+        markers_by_path = {relpath: index
+                           for relpath, _, _, index in per_file}
+        for rule_id in program_ids:
+            for finding in registry[rule_id]().check_program(project,
+                                                            config):
+                index = markers_by_path.get(finding.path)
+                if index is not None and index.suppresses(
+                        finding.line, finding.rule_id):
+                    suppressed_total += 1
+                else:
+                    raw.append(finding)
+
+    # Markers naming program rules only count as "active" when the
+    # program pass actually ran — a per-file-only run cannot tell
+    # whether they would have matched.
+    active_ids = module_ids + (program_ids if whole_program else [])
+    for relpath, _source, _tree, suppressions in per_file:
+        for marker in suppressions.unused(active_ids):
+            raw.append(Finding(
+                path=relpath,
+                line=marker.line,
+                col=marker.col,
+                rule_id=UNUSED_SUPPRESSION_ID,
+                message=(f"suppression {marker.describe()} matches "
+                         "no finding"),
+            ))
 
     ordered = sorted_findings(raw)
     baseline = baseline or Baseline()
@@ -276,4 +397,5 @@ def run_lint(
         suppressed=suppressed_total,
         stale_baseline=stale,
         files_checked=len(files),
+        analysis=analysis,
     )

@@ -29,6 +29,10 @@ class Rule:
     id: str = ""
     name: str = ""
     rationale: str = ""
+    #: ``"module"`` rules see one file's AST through the per-file
+    #: walker; ``"program"`` rules (see :class:`ProgramRule`) see the
+    #: whole-project graph and only run under ``--whole-program``.
+    scope: str = "module"
     #: AST node types dispatched to :meth:`visit`.
     interests: Tuple[type, ...] = ()
 
@@ -40,6 +44,26 @@ class Rule:
 
     def end_module(self, ctx) -> None:
         """Called once after the walk; emit whole-module findings."""
+
+
+class ProgramRule(Rule):
+    """Base class for whole-program (interprocedural) rules.
+
+    Program rules never receive per-file ``visit`` callbacks; instead
+    the engine hands them the assembled
+    :class:`~repro.devtools.analysis.graph.ProjectGraph` once per run.
+    They share the registry, ``--select``/``--ignore`` scoping,
+    ``# repro: noqa`` suppression and baseline machinery with the
+    per-file rules, but only execute when the run asks for
+    ``--whole-program`` analysis.
+    """
+
+    scope = "program"
+    interests: Tuple[type, ...] = ()
+
+    def check_program(self, project, config) -> list:
+        """Return a list of Findings for the whole project."""
+        return []
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:

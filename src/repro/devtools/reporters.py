@@ -50,6 +50,15 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
     if extras:
         summary += f" ({', '.join(extras)})"
     lines.append(summary)
+    if result.analysis is not None:
+        stats = result.analysis
+        lines.append(
+            f"whole-program: {stats.get('modules', 0)} modules, "
+            f"{stats.get('functions', 0)} functions, "
+            f"{stats.get('call_edges', 0)} call edges "
+            f"(summary cache: {stats.get('hits', 0)} hit(s), "
+            f"{stats.get('misses', 0)} miss(es))"
+        )
     return "\n".join(lines)
 
 
@@ -68,4 +77,8 @@ def render_json(result: LintResult) -> str:
         "baselined": [finding.as_dict() for finding in result.baselined],
         "stale_baseline": list(result.stale_baseline),
     }
+    if result.analysis is not None:
+        # Cache hit/miss counters vary between warm and cold runs by
+        # design; the findings arrays above must not.
+        document["analysis"] = dict(result.analysis)
     return json.dumps(document, indent=2, sort_keys=True)

@@ -15,17 +15,35 @@ DEP001     import outside the declared dependency set
 API001     ``__all__`` out of sync with the module namespace
 ========== ==========================================================
 
+Whole-program rules (run only under ``repro lint --whole-program``,
+against the :mod:`repro.devtools.analysis` project graph):
+
+========== ==========================================================
+FLOW101    unseeded RNG value reaches a fingerprint/cache-key sink
+FLOW102    wall-clock or entropy value reaches a fingerprint sink
+FLOW103    unordered iteration order reaches a serialisation sink
+PERF001    per-element loop over corpus/route/topology on a hot path
+PERF002    ``range(len(...))`` index walk on a hot path
+CONC001    state mutated on both loop and executor paths, no lock
+CONC002    ``await`` while holding a synchronous lock
+CONC003    module state mutated inside a process-pool worker
+========== ==========================================================
+
 Plus two engine-level ids that are not rules: ``SYN001`` (file does
 not parse) and ``SUP001`` (unused ``# repro: noqa`` marker).
 """
 
 from repro.devtools.rules import api as _api
 from repro.devtools.rules import asyncsafety as _asyncsafety
+from repro.devtools.rules import concurrency as _concurrency
 from repro.devtools.rules import determinism as _determinism
+from repro.devtools.rules import flow as _flow
 from repro.devtools.rules import imports as _imports
+from repro.devtools.rules import perf as _perf
 from repro.devtools.rules import pickling as _pickling
 
 # Imported purely for their registration side effect.
-_RULE_MODULES = (_determinism, _asyncsafety, _pickling, _imports, _api)
+_RULE_MODULES = (_determinism, _asyncsafety, _pickling, _imports, _api,
+                 _flow, _perf, _concurrency)
 
 __all__ = []

@@ -1,0 +1,198 @@
+"""Concurrency-hazard rules: CONC001, CONC002, CONC003.
+
+The service runs one asyncio event loop next to a thread executor
+(scenario builds, lazy index work) and the pipeline fans out to
+process pools.  Three hazards recur at those boundaries and none of
+them is visible from a single file:
+
+* state mutated both on the event-loop path and on a thread-executor
+  path races unless both sides hold the same lock (CONC001);
+* a coroutine that ``await``-s while holding a *synchronous* lock
+  blocks every other task that wants the lock — and, if the lock is
+  later taken on the loop thread, deadlocks it (CONC002);
+* a module global mutated inside a function submitted to a *process*
+  pool mutates the worker's copy; the parent never sees the write
+  (CONC003) — pool initializers are the sanctioned exception (priming
+  per-worker state is exactly what they are for).
+
+The async side is every coroutine plus everything it calls through
+resolved call edges; the executor side is every callable handed to
+``run_in_executor``/thread-pool ``submit``/``map`` plus everything *it*
+calls.  Both sides under-approximate (unresolved dynamic calls add no
+edges), so a CONC finding always names a real pair of paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ProgramRule, register
+
+
+def _mutation_index(project) -> Dict[str, List[Tuple[str, str, int, int]]]:
+    """state key -> [(fid, path, line, guarded)], fully qualified.
+
+    ``global:NAME`` keys are qualified by module and ``self:Class.attr``
+    keys by the defining module, so equal names in different modules
+    never alias.
+    """
+    index: Dict[str, List[Tuple[str, str, int, int]]] = {}
+    for fid in sorted(project.functions):
+        record = project.functions[fid]
+        for key, lineno, guarded in record["mutations"]:
+            name = key.partition(":")[2]
+            qualified = f"{record['module']}:{name}"
+            index.setdefault(qualified, []).append(
+                (fid, record["path"], lineno, guarded))
+    return index
+
+
+@register
+class CrossContextMutationRule(ProgramRule):
+    """CONC001 — shared state mutated from both sides of the executor
+    boundary without a lock."""
+
+    id = "CONC001"
+    name = "state mutated on both event-loop and executor paths " \
+           "without a lock guard"
+    rationale = (
+        "`run_in_executor` moves work to a thread that shares every "
+        "module global and instance attribute with the event loop.  "
+        "When the same state is mutated from a coroutine's call path "
+        "AND from an executor call path, the interleaving is "
+        "arbitrary: counters lose increments, dict/LRU structures "
+        "corrupt mid-resize, readers observe half-applied updates.  "
+        "Guard both sides with the same lock (`with self._lock:` on "
+        "the executor side, a matching guard or single-threaded "
+        "hand-off on the loop side), or confine mutation to one "
+        "context and pass results across the boundary by return "
+        "value — the pattern `ScenarioPool` uses: the executor job "
+        "builds and *returns*, only the loop thread admits."
+    )
+
+    def check_program(self, project, config) -> List[Finding]:
+        async_roots = [fid for fid in sorted(project.functions)
+                       if project.functions[fid]["is_async"]]
+        async_side = project.forward_reachable(async_roots)
+        thread_roots = [callee for kind, _caller, callee, _line
+                        in project.executor_edges if kind == "thread"]
+        thread_side = project.forward_reachable(thread_roots)
+        if not async_side or not thread_side:
+            return []
+        findings: List[Finding] = []
+        for state, sites in sorted(_mutation_index(project).items()):
+            loop_sites = [s for s in sites if s[0] in async_side]
+            exec_sites = [s for s in sites if s[0] in thread_side]
+            if not loop_sites or not exec_sites:
+                continue
+            unguarded = sorted(
+                (path, lineno, fid)
+                for fid, path, lineno, guarded in loop_sites + exec_sites
+                if not guarded
+            )
+            if not unguarded:
+                continue
+            path, lineno, _fid = unguarded[0]
+            findings.append(Finding(
+                path=path,
+                line=lineno,
+                col=1,
+                rule_id=self.id,
+                message=(
+                    f"`{state}` is mutated on the event-loop path "
+                    f"({project.pretty(loop_sites[0][0])}) and on the "
+                    f"thread-executor path "
+                    f"({project.pretty(exec_sites[0][0])}) without a "
+                    "lock guard on every side"
+                ),
+            ))
+        return findings
+
+
+@register
+class AwaitUnderSyncLockRule(ProgramRule):
+    """CONC002 — ``await`` while holding a synchronous lock."""
+
+    id = "CONC002"
+    name = "await expression while holding a synchronous lock"
+    rationale = (
+        "`with threading.Lock():` does not release across `await` — "
+        "the coroutine suspends still holding the lock, so every other "
+        "task (and any executor thread) that wants it stalls for the "
+        "whole suspension; if the loop thread itself then tries to "
+        "take the lock, the process deadlocks.  Inside coroutines use "
+        "`async with asyncio.Lock():`, or keep the synchronous "
+        "critical section free of suspension points."
+    )
+
+    def check_program(self, project, config) -> List[Finding]:
+        findings: List[Finding] = []
+        for fid in sorted(project.functions):
+            record = project.functions[fid]
+            for lineno, lock in record["lock_awaits"]:
+                findings.append(Finding(
+                    path=record["path"],
+                    line=lineno,
+                    col=1,
+                    rule_id=self.id,
+                    message=(
+                        f"await inside `with {lock}:` in "
+                        f"{project.pretty(fid)}; a sync lock is held "
+                        "across the suspension — use asyncio.Lock or "
+                        "drop the await from the critical section"
+                    ),
+                ))
+        return findings
+
+
+@register
+class ProcessPoolLostUpdateRule(ProgramRule):
+    """CONC003 — process-pool worker mutates module/global state."""
+
+    id = "CONC003"
+    name = "module state mutated inside a process-pool worker " \
+           "(lost update)"
+    rationale = (
+        "A process-pool worker runs in a forked/spawned interpreter: "
+        "assigning to a module global or a shared object's attribute "
+        "there mutates the *worker's* copy and is silently discarded "
+        "when the task ends — the classic lost update that makes "
+        "results depend on which process handled which chunk.  Return "
+        "the data instead and merge in the parent (the "
+        "`ParallelPropagator` pattern), or, for per-worker caches that "
+        "are *meant* to live in the worker, populate them from the "
+        "pool initializer — initializers are exempt from this rule."
+    )
+
+    def check_program(self, project, config) -> List[Finding]:
+        worker_roots = [callee for kind, _caller, callee, _line
+                        in project.executor_edges if kind == "process"]
+        reach = project.forward_reachable(worker_roots)
+        # Anything a pool initializer reaches is sanctioned priming.
+        init_roots = [callee for kind, _caller, callee, _line
+                      in project.executor_edges if kind == "process_init"]
+        sanctioned = project.forward_reachable(init_roots)
+        findings: List[Finding] = []
+        for fid in sorted(reach):
+            if fid in sanctioned:
+                continue
+            record = project.functions[fid]
+            for key, lineno, _guarded in record["mutations"]:
+                if not key.startswith("global:"):
+                    continue
+                name = key.partition(":")[2]
+                findings.append(Finding(
+                    path=record["path"],
+                    line=lineno,
+                    col=1,
+                    rule_id=self.id,
+                    message=(
+                        f"module global `{name}` mutated in "
+                        f"{project.pretty(fid)}, which runs in a "
+                        "process-pool worker; the write never reaches "
+                        "the parent — return the value or move the "
+                        "priming into the pool initializer"
+                    ),
+                ))
+        return findings

@@ -1,0 +1,151 @@
+"""Interprocedural determinism-taint rules: FLOW101, FLOW102, FLOW103.
+
+The per-file DET rules stop at function boundaries: DET003 sees a
+``time.time()`` only when it is written *inside* a ``*key*`` function,
+and DET001 cannot see that a helper's return value ends up hashed into
+a fingerprint two modules away.  The FLOW family closes that gap by
+walking the project call graph from every fingerprint/cache-key/
+serialisation *sink function* and reporting any reachable function that
+contains a nondeterminism source.  Chains of length zero (the source
+sits inside the sink itself) are deliberately left to the per-file
+rules — FLOW findings are interprocedural by construction, so the two
+layers never double-report.
+
+Each finding is anchored at the first call the sink makes toward the
+source (the natural place for a ``# repro: noqa[FLOW10x]`` when the
+flow is intentional) and its message spells out the whole chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ProgramRule, register
+
+
+def _sink_functions(project, contexts: Tuple[str, ...]) -> List[str]:
+    """Function ids whose leaf name marks key/fingerprint/serialise."""
+    out = []
+    for fid in sorted(project.functions):
+        qualname = project.functions[fid]["qualname"]
+        leaf = qualname.rsplit(".", 1)[-1].lower()
+        if any(marker in leaf for marker in contexts):
+            out.append(fid)
+    return out
+
+
+class _TaintFlowRule(ProgramRule):
+    """Shared machinery: sources of one kind reached from sink roots."""
+
+    #: Source fact kind in the module summaries.
+    kind = ""
+    #: Human label for the source in the finding message.
+    source_label = ""
+
+    def _sources(self, project, config) -> Dict[str, Tuple[str, int]]:
+        exempt = tuple(config.det001_exempt)
+        out: Dict[str, Tuple[str, int]] = {}
+        for fid in sorted(project.functions):
+            record = project.functions[fid]
+            if self.kind == "rng" and record["path"].endswith(exempt):
+                continue  # the sanctioned RNG plumbing itself
+            facts = [fact for fact in record["sources"]
+                     if fact[0] == self.kind]
+            if facts:
+                out[fid] = (facts[0][1], facts[0][2])
+        return out
+
+    def check_program(self, project, config) -> List[Finding]:
+        findings: List[Finding] = []
+        sources = self._sources(project, config)
+        if not sources:
+            return findings
+        contexts = tuple(config.flow_sink_contexts)
+        for sink in _sink_functions(project, contexts):
+            parents = project.forward_reachable([sink])
+            sink_record = project.functions[sink]
+            sink_leaf = sink_record["qualname"].rsplit(".", 1)[-1]
+            for target in sorted(sources):
+                if target == sink or target not in parents:
+                    continue
+                chain = project.chain(parents, target)
+                route = " -> ".join(
+                    project.pretty(fid) for fid, _ in chain)
+                detail, _src_line = sources[target]
+                findings.append(Finding(
+                    path=sink_record["path"],
+                    line=chain[1][1],
+                    col=1,
+                    rule_id=self.id,
+                    message=(
+                        f"{self.source_label} `{detail}` in "
+                        f"{project.pretty(target)} reaches "
+                        f"`{sink_leaf}` via {route}"
+                    ),
+                ))
+        return findings
+
+
+@register
+class RngTaintRule(_TaintFlowRule):
+    """FLOW101 — unseeded randomness tainting a content address."""
+
+    id = "FLOW101"
+    name = "unseeded RNG value reaches a fingerprint/cache-key sink"
+    kind = "rng"
+    source_label = "unseeded RNG"
+    rationale = (
+        "Cache keys, fingerprints and serialised artifacts are content "
+        "addresses: the same config must produce the same bytes in "
+        "every run.  An unseeded RNG — legacy `np.random.*` state, "
+        "`default_rng()` with no seed, a bare `PCG64()` bit generator, "
+        "or the stdlib `random` module — anywhere in a sink function's "
+        "call chain silently poisons that guarantee, even when the "
+        "draw happens modules away from the sink.  The per-file DET001 "
+        "rule flags the source file; FLOW101 proves the *connection* "
+        "and is the rule that blocks the taint from reaching a key.  "
+        "Thread a seeded generator from repro.utils.rng through the "
+        "chain instead."
+    )
+
+
+@register
+class ClockTaintRule(_TaintFlowRule):
+    """FLOW102 — wall-clock/entropy tainting a content address."""
+
+    id = "FLOW102"
+    name = "wall-clock or entropy value reaches a fingerprint sink"
+    kind = "clock"
+    source_label = "wall-clock/entropy read"
+    rationale = (
+        "DET003 bans `time.time()` and friends inside functions whose "
+        "own name marks them as key construction — but a helper named "
+        "`build_meta()` that stamps `datetime.now()` into a dict which "
+        "a `cache_key()` then hashes is invisible to it.  FLOW102 "
+        "follows the call graph from every key/fingerprint/digest/"
+        "serialise function and reports any reachable wall-clock or "
+        "entropy read, with the full call chain in the message.  Keep "
+        "time out of content addresses; record timestamps next to the "
+        "artifact, never inside its identity."
+    )
+
+
+@register
+class UnorderedTaintRule(_TaintFlowRule):
+    """FLOW103 — set/dict-view ordering escaping into a sink."""
+
+    id = "FLOW103"
+    name = "unordered iteration order reaches a serialisation sink"
+    kind = "unordered"
+    source_label = "unordered iteration"
+    rationale = (
+        "DET002 catches `json.dumps(set(...))` in one expression, but "
+        "a helper that *returns* a set (or dict view) hands its "
+        "iteration order to every caller — and when a fingerprint or "
+        "serialiser in another module joins or hashes that value, two "
+        "equivalent runs emit different bytes.  FLOW103 reports sink "
+        "functions whose call chain reaches a function returning "
+        "unordered iteration.  Sort at the producer (`return "
+        "sorted(...)`) so every consumer inherits a stable order."
+    )

@@ -61,10 +61,17 @@ class UndeclaredDependencyRule(Rule):
 
     def _allowed(self, ctx) -> frozenset:
         config = ctx.config
-        return (_STDLIB
-                | frozenset(config.first_party)
-                | frozenset(config.allowed_imports)
-                | frozenset(config.extra_allowed_imports))
+        allowed = (_STDLIB
+                   | frozenset(config.first_party)
+                   | frozenset(config.allowed_imports)
+                   | frozenset(config.extra_allowed_imports))
+        # Tree-scoped allowances: benchmarks/ and tests/ legitimately
+        # import pytest (and their own conftest); src/ never may.
+        segments = set(ctx.relpath.split("/"))
+        for segment, extra in config.tree_allowed_imports:
+            if segment in segments:
+                allowed |= frozenset(extra)
+        return allowed
 
     def visit(self, node: ast.AST, ctx, walker) -> None:
         allowed = self._allowed(ctx)

@@ -195,7 +195,11 @@ class LinkFeatureExtractor:
         stub_incident = np.minimum(deg_a, deg_b) == 0
         if self.ixps is not None:
             common = self.ixps.common_ixps
-            ixp_buckets = [min(2, len(common(a, b))) for a, b in links]
+            # Per-link set intersection through the IxpTable API; links
+            # here is the deduplicated link set, not the route corpus.
+            ixp_buckets = [  # repro: noqa[PERF001]
+                min(2, len(common(a, b))) for a, b in links
+            ]
         else:
             ixp_buckets = [0] * len(links)
         rows = zip(

@@ -526,7 +526,9 @@ class ColumnarIndices:
         lefts = (group_keys >> _SHIFT32).astype(np.int64).tolist()
         middles = (group_keys & _MASK32).astype(np.int64).tolist()
         bs = tri_b.astype(np.int64).tolist()
-        return {
+        # Assembles the python-dict return value from arrays np.unique
+        # already grouped; one step per distinct group, not per triplet.
+        return {  # repro: noqa[PERF002]
             (lefts[i], middles[i]): bs[bounds[i]:bounds[i + 1]]
             for i in range(len(lefts))
         }
@@ -682,7 +684,9 @@ class RouteSlab:
 
 def pack_route_slab(routes: Sequence[Any]) -> RouteSlab:
     """Pack an ordered route list into a :class:`RouteSlab`."""
-    paths = [route.path for route in routes]
+    # The pack boundary: one attribute read per CollectedRoute object
+    # is unavoidable when converting objects into columnar buffers.
+    paths = [route.path for route in routes]  # repro: noqa[PERF001]
     communities = {
         index: route.communities
         for index, route in enumerate(routes)

@@ -1,0 +1,1 @@
+"""Fixture: executor-boundary concurrency hazards (CONC0xx)."""

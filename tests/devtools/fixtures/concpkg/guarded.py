@@ -1,0 +1,20 @@
+"""CONC001 negative: both sides take the same lock."""
+
+import threading
+
+LOCK = threading.Lock()
+STATS = {}
+
+
+async def tally(loop, pool, key):
+    value = await loop.run_in_executor(pool, crunch, key)
+    with LOCK:
+        STATS[key] = value
+    return value
+
+
+def crunch(key):
+    value = key + 1
+    with LOCK:
+        STATS[key] = value
+    return value

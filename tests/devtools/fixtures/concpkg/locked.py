@@ -1,0 +1,10 @@
+"""CONC002 positive: await while holding a synchronous lock."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+async def flush(writer):
+    with _lock:
+        await writer.drain()

@@ -1,0 +1,15 @@
+"""CONC001 positive: CACHE written from both sides, no lock."""
+
+CACHE = {}
+
+
+async def refresh(loop, pool, key):
+    value = await loop.run_in_executor(pool, compute, key)
+    CACHE[key] = value  # event-loop side, unguarded
+    return value
+
+
+def compute(key):
+    result = key * 2
+    CACHE[key] = result  # thread-executor side, unguarded
+    return result

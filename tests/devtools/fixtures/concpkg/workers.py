@@ -1,0 +1,29 @@
+"""CONC003: a lost update in a pool worker, and the sanctioned
+initializer-primed variant."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+TOTALS = {}
+
+
+def tally_chunk(chunk):
+    TOTALS[chunk[0]] = sum(chunk)  # lost update: worker-local write
+    return sum(chunk)
+
+
+def run(chunks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(tally_chunk, chunks))
+
+
+def prime_worker():
+    TOTALS["base"] = 0  # sanctioned: runs in the pool initializer
+
+
+def run_primed(chunks):
+    with ProcessPoolExecutor(initializer=prime_worker) as pool:
+        return list(pool.map(merge_chunk, chunks))
+
+
+def merge_chunk(chunk):
+    return sum(chunk) + TOTALS.get("base", 0)

@@ -1,0 +1,1 @@
+"""Fixture: cross-module nondeterminism taint (FLOW1xx positives)."""

@@ -1,0 +1,8 @@
+"""A pass-through hop so the taint chain spans three modules."""
+
+from flowpkg import entropy
+
+
+def mixed(routes):
+    base = entropy.noise()
+    return base + len(routes)

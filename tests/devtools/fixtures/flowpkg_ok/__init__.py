@@ -1,0 +1,1 @@
+"""Fixture: the deterministic rewrite of flowpkg (FLOW1xx negatives)."""

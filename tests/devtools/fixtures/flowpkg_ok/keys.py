@@ -1,0 +1,16 @@
+"""Sink functions over seeded/sorted producers — all clean."""
+
+from flowpkg_ok.entropy import stamp, tags
+from flowpkg_ok.middle import mixed
+
+
+def corpus_fingerprint(routes):
+    return f"{mixed(routes):.6f}"
+
+
+def build_key(name):
+    return f"{name}-{stamp()}"
+
+
+def digest_tags(routes):
+    return ",".join(str(tag) for tag in tags(routes))

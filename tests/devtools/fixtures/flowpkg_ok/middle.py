@@ -1,0 +1,8 @@
+"""Pass-through hop, same shape as the tainted variant."""
+
+from flowpkg_ok import entropy
+
+
+def mixed(routes):
+    base = entropy.noise()
+    return base + len(routes)

@@ -1,0 +1,1 @@
+"""Fixture: scalar loops on and off the hot path (PERF0xx)."""

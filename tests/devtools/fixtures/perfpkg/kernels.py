@@ -1,0 +1,29 @@
+"""Kernels: two hot-path offenders, one exempt, one unreachable."""
+
+
+def accumulate(corpus):
+    total = 0
+    for path in corpus.paths:  # PERF001: reachable from propagate
+        total += len(path)
+    return total
+
+
+def walk(paths):
+    out = []
+    for i in range(len(paths)):  # PERF002: reachable from propagate
+        out.append(paths[i])
+    return out
+
+
+def legacy_total(corpus):
+    total = 0
+    for path in corpus.paths:  # exempt: qualname carries "legacy"
+        total += len(path)
+    return total
+
+
+def offline_report(corpus):
+    lines = []
+    for route in corpus.routes:  # clean: nothing hot reaches this
+        lines.append(str(route))
+    return lines

@@ -1,0 +1,177 @@
+"""Unit coverage for the summary extractor and the project graph."""
+
+import ast
+from pathlib import Path
+
+from repro.devtools.analysis import (
+    ProjectGraph,
+    module_name_for,
+    summarize_module,
+)
+
+HOT = ("corpus", "paths", "routes", "route_tree", "links", "topology")
+
+
+def summarize(relpath, source):
+    return summarize_module(relpath, ast.parse(source), HOT)
+
+
+def graph_of(*modules):
+    return ProjectGraph([summarize(rel, src) for rel, src in modules])
+
+
+# ----------------------------------------------------------------------
+# module naming
+# ----------------------------------------------------------------------
+
+def test_module_name_walks_package_dirs(tmp_path):
+    pkg = tmp_path / "pkg" / "sub"
+    pkg.mkdir(parents=True)
+    (tmp_path / "pkg" / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "mod.py").write_text("", encoding="utf-8")
+    assert module_name_for(pkg / "mod.py") == ("pkg.sub.mod", False)
+    assert module_name_for(pkg / "__init__.py") == ("pkg.sub", True)
+    assert module_name_for(Path("loose.py")) == ("loose", False)
+
+
+# ----------------------------------------------------------------------
+# summary facts
+# ----------------------------------------------------------------------
+
+def test_summary_records_calls_sources_and_loops():
+    source = (
+        "import time\n"
+        "import numpy as np\n"
+        "def helper():\n"
+        "    return time.time()\n"
+        "def top(corpus):\n"
+        "    rng = np.random.default_rng()\n"
+        "    for path in corpus.paths:\n"
+        "        helper()\n"
+        "    for i in range(len(corpus.paths)):\n"
+        "        pass\n"
+    )
+    summary = summarize("a.py", source)
+    (helper, top) = summary["functions"]
+    assert helper["sources"] == [["clock", "time.time(...)", 4]]
+    assert ["rng", "np.random.default_rng() without a seed", 6] \
+        in top["sources"]
+    kinds = sorted(loop[2] for loop in top["loops"])
+    assert kinds == ["hot", "rangelen"]
+    assert ["helper", 8, 0] in top["calls"]
+
+
+def test_fromiter_generator_is_not_a_hot_loop():
+    source = (
+        "import numpy as np\n"
+        "def pack(paths):\n"
+        "    return np.fromiter((len(p) for p in paths), dtype=int)\n"
+    )
+    (record,) = summarize("a.py", source)["functions"]
+    assert record["loops"] == []
+
+
+def test_relative_import_resolution():
+    source = "from . import sibling\nfrom ..top import thing\n"
+    summary = summarize_module("pkg/sub/mod.py", ast.parse(source), HOT)
+    # module_name_for sees no __init__.py on disk for the fake path, so
+    # build the summarizer input through a package-shaped relpath works
+    # only for the alias map shape; resolution itself is covered below.
+    assert "sibling" in summary["imports"]
+
+
+# ----------------------------------------------------------------------
+# graph resolution and reachability
+# ----------------------------------------------------------------------
+
+def test_cross_module_resolution_and_chain():
+    graph = graph_of(
+        ("a.py", "from b import helper\ndef entry():\n"
+                 "    return helper()\n"),
+        ("b.py", "def helper():\n    return inner()\n"
+                 "def inner():\n    return 1\n"),
+    )
+    parents = graph.forward_reachable(["a::entry"])
+    assert set(parents) == {"a::entry", "b::helper", "b::inner"}
+    chain = graph.chain(parents, "b::inner")
+    assert [fid for fid, _ in chain] == ["a::entry", "b::helper",
+                                         "b::inner"]
+
+
+def test_class_and_self_method_resolution():
+    graph = graph_of(
+        ("m.py",
+         "class Engine:\n"
+         "    def __init__(self):\n"
+         "        self.prepare()\n"
+         "    def prepare(self):\n"
+         "        return 1\n"
+         "def build():\n"
+         "    return Engine()\n"),
+    )
+    assert ("m::Engine.__init__", 3) in graph.calls["m::build"] or \
+        graph.calls["m::build"][0][0] == "m::Engine.__init__"
+    assert graph.calls["m::Engine.__init__"][0][0] == "m::Engine.prepare"
+
+
+def test_unresolvable_calls_add_no_edges():
+    graph = graph_of(
+        ("m.py", "def go(fn):\n    return fn() + unknown()\n"),
+    )
+    assert "m::go" not in graph.calls
+
+
+def test_reexport_chasing_through_package_init(tmp_path):
+    # Module naming walks real __init__.py files, so build a real tree.
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("from pkg.impl import build\n",
+                                     encoding="utf-8")
+    (pkg / "impl.py").write_text("def build():\n    return 1\n",
+                                 encoding="utf-8")
+    use = tmp_path / "use.py"
+    use.write_text("import pkg\ndef run():\n    return pkg.build()\n",
+                   encoding="utf-8")
+    graph = ProjectGraph([
+        summarize_module(str(path),
+                         ast.parse(path.read_text(encoding="utf-8")),
+                         HOT)
+        for path in (pkg / "__init__.py", pkg / "impl.py", use)
+    ])
+    assert graph.calls["use::run"][0][0] == "pkg.impl::build"
+
+
+def test_executor_edges_and_kinds():
+    # Executor-name kinds are a module-wide map, so the process pool
+    # gets a name distinct from the run_in_executor argument.
+    graph = graph_of(
+        ("w.py",
+         "from concurrent.futures import ProcessPoolExecutor\n"
+         "def job():\n    return 1\n"
+         "def init():\n    return 0\n"
+         "async def go(loop, pool):\n"
+         "    await loop.run_in_executor(pool, job)\n"
+         "def fan(chunks):\n"
+         "    with ProcessPoolExecutor(initializer=init) as procs:\n"
+         "        return list(procs.map(job, chunks))\n"),
+    )
+    kinds = {(kind, callee) for kind, _caller, callee, _line
+             in graph.executor_edges}
+    assert ("thread", "w::job") in kinds
+    assert ("process", "w::job") in kinds
+    assert ("process_init", "w::init") in kinds
+
+
+def test_render_edges_is_sorted_and_filterable():
+    graph = graph_of(
+        ("a.py", "from b import helper\ndef entry():\n"
+                 "    return helper()\n"),
+        ("b.py", "def helper():\n    return 1\n"),
+    )
+    lines = graph.render_edges("")
+    assert lines == sorted(lines) or len(lines) == 1
+    assert graph.render_edges("a:") == [
+        "a:entry -> b:helper  [line 3]"
+    ]
+    assert graph.render_edges("zzz") == []

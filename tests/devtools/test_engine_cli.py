@@ -178,3 +178,79 @@ def test_stale_baseline_entries_surface_but_do_not_fail(
     out = capsys.readouterr().out
     assert code == 0
     assert "stale baseline" in out
+
+
+# ---------------------------------------------------------------------------
+# whole-program mode and hardened path handling
+# ---------------------------------------------------------------------------
+
+def test_cli_whole_program_repo_is_clean(capsys, tmp_path):
+    code = repro_main(["lint", "--whole-program",
+                       "--analysis-cache", str(tmp_path / "c"),
+                       str(SRC)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "whole-program:" in out
+
+    # The warm re-run hits the cache for every module.
+    code = repro_main(["lint", "--whole-program", "--format", "json",
+                       "--analysis-cache", str(tmp_path / "c"),
+                       str(SRC)])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert document["findings"] == []
+    assert document["analysis"]["hits"] == document["analysis"]["modules"]
+
+
+def test_cli_call_graph_dump(capsys):
+    code = repro_main(["lint", "--no-analysis-cache",
+                       "--call-graph", "repro.bgp",
+                       str(SRC / "bgp")])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "->" in captured.out
+    assert all(line.startswith("repro.bgp")
+               for line in captured.out.splitlines() if line)
+
+
+def test_cli_default_paths_cover_benchmarks_and_examples(
+    capsys, monkeypatch
+):
+    monkeypatch.chdir(REPO_ROOT)
+    code = repro_main(["lint"])
+    out = capsys.readouterr().out
+    assert code == 0
+    n_files = int(out.rsplit(" in ", 1)[1].split()[0])
+    src_only = run_lint([SRC], LintConfig()).files_checked
+    assert n_files > src_only  # benchmarks/ and examples/ were included
+
+
+def test_cli_undecodable_file_is_a_usage_error(tmp_path, capsys):
+    target = tmp_path / "binary.py"
+    target.write_bytes(b"\xff\xfe\x00junk")
+    code = repro_main(["lint", str(target)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "repro lint:" in err
+    assert "Traceback" not in err
+
+
+def test_cli_unreadable_file_is_a_usage_error(
+    tmp_path, capsys, monkeypatch
+):
+    target = tmp_path / "locked.py"
+    target.write_text("VALUE = 1\n", encoding="utf-8")
+
+    real_read_text = Path.read_text
+
+    def deny(self, *args, **kwargs):
+        if self.name == "locked.py":
+            raise PermissionError(13, "Permission denied", str(self))
+        return real_read_text(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "read_text", deny)
+    code = repro_main(["lint", str(target)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "Permission denied" in err
+    assert "Traceback" not in err

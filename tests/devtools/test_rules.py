@@ -46,7 +46,12 @@ def test_ok_fixture_is_clean(rule_id):
 
 
 def test_every_registered_rule_has_a_fixture_case():
-    assert sorted(all_rules()) == sorted(CASES)
+    # Program-scope rules (FLOW/PERF/CONC) are covered by the package
+    # fixtures in test_program_rules.py — this table holds the
+    # single-file, module-scope rules.
+    module_scope = [rule_id for rule_id, rule_cls in all_rules().items()
+                    if rule_cls.scope == "module"]
+    assert sorted(module_scope) == sorted(CASES)
 
 
 def test_fixture_tree_trips_every_rule_at_once():

@@ -408,19 +408,114 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint_command(args)
 
 
+#: More serve-worker processes than this is a typo, not a deployment.
+MAX_SERVE_WORKERS = 256
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.app import ReproService
 
-    service = ReproService(
-        pool_size=args.pool_size,
-        workers=resolve_workers(args.workers),
-        cache=_cache_from(args),
+    serve_workers = args.serve_workers
+    if serve_workers < 1:
+        print(
+            f"error: --serve-workers must be at least 1 "
+            f"(got {serve_workers})",
+            file=sys.stderr,
+        )
+        return 2
+    if serve_workers > MAX_SERVE_WORKERS:
+        print(
+            f"error: --serve-workers {serve_workers} is absurd "
+            f"(maximum {MAX_SERVE_WORKERS})",
+            file=sys.stderr,
+        )
+        return 2
+    if serve_workers > 1 and not args.cache:
+        print(
+            "error: multi-worker serving requires --cache (workers "
+            "share scenarios through the artifact cache; without it "
+            "answers would depend on which worker a client lands on)",
+            file=sys.stderr,
+        )
+        return 2
+    build_workers = resolve_workers(args.workers)
+
+    if serve_workers == 1:
+        service = ReproService(
+            pool_size=args.pool_size,
+            workers=build_workers,
+            cache=_cache_from(args),
+        )
+        try:
+            asyncio.run(service.run(host=args.host, port=args.port))
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    from repro.service.supervisor import Supervisor
+
+    def service_factory() -> ReproService:
+        # Constructed post-fork, in the worker: each process gets its
+        # own pool/executor/event loop over the shared artifact cache.
+        return ReproService(
+            pool_size=args.pool_size,
+            workers=build_workers,
+            cache=_cache_from(args),
+        )
+
+    supervisor = Supervisor(
+        service_factory,
+        host=args.host,
+        port=args.port,
+        serve_workers=serve_workers,
     )
     try:
-        asyncio.run(service.run(host=args.host, port=args.port))
+        return supervisor.run()
     except KeyboardInterrupt:
-        pass
-    return 0
+        return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import (
+        DEFAULT_MIX,
+        parse_mix,
+        prepare_plan,
+        publish_result,
+        run_loadgen,
+    )
+
+    try:
+        mix = parse_mix(args.mix) if args.mix else dict(DEFAULT_MIX)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"loadgen: preparing scenario (preset={args.preset}, "
+        f"seed={args.seed}) against {args.host}:{args.port} ...",
+        file=sys.stderr,
+    )
+    plan = prepare_plan(
+        args.host, args.port,
+        preset=args.preset, seed=args.seed,
+        ases=args.ases, vps=args.vps,
+        algorithm=args.algorithm, mix=mix,
+        batch_size=args.batch_size,
+        loadgen_seed=args.loadgen_seed,
+    )
+    print(
+        f"loadgen: {args.concurrency} task(s) for {args.duration:.1f}s "
+        f"over {len(plan.links)} links / {len(plan.asns)} ASNs ...",
+        file=sys.stderr,
+    )
+    result = run_loadgen(
+        plan, concurrency=args.concurrency, duration_s=args.duration
+    )
+    payload = result.as_dict()
+    if args.out:
+        path = publish_result(args.out, args.name, result)
+        print(f"loadgen: report merged into {path}", file=sys.stderr)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if result.total_requests > 0 and result.errors == 0 else 1
 
 
 # ---------------------------------------------------------------------------
@@ -548,6 +643,10 @@ def make_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=0,
                          help="propagation worker processes per build "
                               "(0 = serial, -1 = CPU count; default 0)")
+    p_serve.add_argument("--serve-workers", type=int, default=1,
+                         help="HTTP worker processes (pre-fork "
+                              "supervisor; >1 requires --cache; "
+                              "default 1 = in-process)")
     p_serve.add_argument("--cache", dest="cache", action="store_true",
                          default=False,
                          help="warm-start builds from the artifact cache")
@@ -557,6 +656,46 @@ def make_parser() -> argparse.ArgumentParser:
                          help="cache root (default $REPRO_CACHE_DIR "
                               "or ~/.cache/repro)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running service with a closed-loop benchmark "
+             "and publish BENCH_service.json",
+    )
+    p_loadgen.add_argument("--host", default="127.0.0.1",
+                           help="service address (default 127.0.0.1)")
+    p_loadgen.add_argument("--port", type=int, required=True,
+                           help="service port")
+    p_loadgen.add_argument("--duration", type=float, default=5.0,
+                           help="seconds of timed load (default 5)")
+    p_loadgen.add_argument("--concurrency", type=int, default=8,
+                           help="closed-loop client tasks (default 8)")
+    p_loadgen.add_argument("--mix", default=None,
+                           help="endpoint mix, e.g. 'rel=4,batch=1,"
+                                "neighbors=2' (default)")
+    p_loadgen.add_argument("--batch-size", type=int, default=256,
+                           help="links per :batch request (default 256)")
+    p_loadgen.add_argument("--algorithm", default="asrank",
+                           choices=ALGORITHM_NAMES,
+                           help="algorithm to query (default asrank)")
+    p_loadgen.add_argument("--preset", default="small",
+                           choices=("small", "default"),
+                           help="scenario preset to admit (default small)")
+    p_loadgen.add_argument("--seed", type=int, default=7,
+                           help="scenario seed (default 7)")
+    p_loadgen.add_argument("--ases", type=int, default=None,
+                           help="override the preset's AS count")
+    p_loadgen.add_argument("--vps", type=int, default=None,
+                           help="override the preset's vantage-point count")
+    p_loadgen.add_argument("--loadgen-seed", type=int, default=0,
+                           help="seed for the request streams (default 0)")
+    p_loadgen.add_argument("--name", default="service_loadgen",
+                           help="benchmark key in the report "
+                                "(default service_loadgen)")
+    p_loadgen.add_argument("--out", default=None,
+                           help="directory to merge BENCH_service.json "
+                                "into (default: don't write)")
+    p_loadgen.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -19,6 +19,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import typing
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -617,3 +618,86 @@ class ScenarioConfig:
             raise ValueError("need at least one vantage point")
         if self.adversarial is not None:
             self.adversarial.validate()
+
+
+# ---------------------------------------------------------------------------
+# canonical-dict reconstruction (the inverse of _canonical)
+# ---------------------------------------------------------------------------
+
+def _rebuild_value(tp: Any, value: Any) -> Any:
+    """Reverse :func:`_canonical` for one typed value.
+
+    Driven by the dataclass field annotations, so every value shape the
+    canonical form emits — enum names, stringified enum dict keys,
+    tuples-as-lists, nested dataclasses — maps back to the constructor
+    type without per-field special cases.
+    """
+    origin = typing.get_origin(tp)
+    if origin is None:
+        if dataclasses.is_dataclass(tp) and isinstance(tp, type):
+            return _rebuild_dataclass(tp, value)
+        if isinstance(tp, type) and issubclass(tp, enum.Enum):
+            return tp[value]
+        return value
+    args = typing.get_args(tp)
+    if origin is typing.Union:
+        if value is None:
+            return None
+        inner = [arg for arg in args if arg is not type(None)]
+        return _rebuild_value(inner[0], value)
+    if origin is dict:
+        key_tp, value_tp = args
+        return {
+            _rebuild_value(key_tp, key): _rebuild_value(value_tp, item)
+            for key, item in value.items()
+        }
+    if origin is tuple:
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_rebuild_value(args[0], item) for item in value)
+        return tuple(
+            _rebuild_value(arg, item) for arg, item in zip(args, value)
+        )
+    if origin is list:
+        return [_rebuild_value(args[0], item) for item in value]
+    return value
+
+
+def _rebuild_dataclass(cls: type, data: Any) -> Any:
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"canonical {cls.__name__}: expected an object, "
+            f"got {type(data).__name__}"
+        )
+    hints = typing.get_type_hints(cls)
+    kwargs = {
+        f.name: _rebuild_value(hints[f.name], data[f.name])
+        for f in dataclasses.fields(cls)
+        if f.name in data
+    }
+    return cls(**kwargs)
+
+
+def config_from_canonical(data: Dict[str, Any]) -> "ScenarioConfig":
+    """Rebuild a :class:`ScenarioConfig` from its :meth:`canonical_dict`.
+
+    The exact inverse of canonicalisation: for any valid config,
+    ``config_from_canonical(c.canonical_dict()).fingerprint()`` equals
+    ``c.fingerprint()``.  The artifact cache uses this to resolve a
+    scenario fingerprint recorded in ``meta.json`` back into a buildable
+    config — the mechanism by which a multi-worker service process
+    warm-admits scenarios that a sibling process built.
+
+    Raises :class:`ConfigError` on malformed data and runs the full
+    :meth:`ScenarioConfig.validate` on the result.
+    """
+    try:
+        config = _rebuild_dataclass(ScenarioConfig, data)
+    except ConfigError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ConfigError(f"canonical config: {exc!r}") from exc
+    try:
+        config.validate()
+    except ValueError as exc:
+        raise ConfigError(f"canonical config: {exc}") from exc
+    return config

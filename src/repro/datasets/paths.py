@@ -279,6 +279,7 @@ class PathCorpus:
             }
         report = self._indices().memory_report()
         report["layout"] = "columnar"
+        report["backing"] = self.columns().backing()
         return report
 
     # ------------------------------------------------------------------

@@ -421,6 +421,44 @@ class ArtifactCache:
             )
         return records
 
+    def config_for_fingerprint(self, prefix: str) -> Optional["ScenarioConfig"]:
+        """Resolve a scenario-fingerprint prefix back into its config.
+
+        Scans entry ``meta.json`` records (same code version only) for a
+        fingerprint starting with ``prefix`` and rebuilds the stored
+        canonical config.  This is the cross-process scenario-resolution
+        seam: a service worker that receives a scenario id admitted by a
+        *sibling* worker looks the config up here and then warm-admits
+        the same artifacts.  Returns ``None`` when nothing matches.
+        """
+        from repro.config import ConfigError, config_from_canonical
+
+        if not prefix or not self.root.is_dir():
+            return None
+        try:
+            candidates = sorted(self.root.iterdir())
+        except OSError:
+            return None
+        for entry in candidates:
+            if entry.name == LOCK_DIR_NAME or not entry.is_dir():
+                continue
+            try:
+                meta = json.loads(self.fs.read_text(entry / _META_FILE))
+            except (OSError, ValueError):
+                continue
+            if meta.get("code") != self.code_version:
+                continue
+            fingerprint = meta.get("fingerprint")
+            if not isinstance(fingerprint, str) or not fingerprint.startswith(
+                prefix
+            ):
+                continue
+            try:
+                return config_from_canonical(meta.get("config", {}))
+            except (ConfigError, TypeError, KeyError):
+                continue  # stale/foreign record; keep scanning
+        return None
+
     def clear(self) -> int:
         """Remove every entry; returns the number of entries removed.
 

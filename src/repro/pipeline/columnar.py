@@ -212,6 +212,17 @@ class CorpusColumns:
     def nbytes(self) -> Dict[str, int]:
         return {name: int(arr.nbytes) for name, arr in self.section_items()}
 
+    def backing(self) -> Dict[str, str]:
+        """Per-section storage backing: ``"mmap"`` (file pages shared
+        between processes through the page cache) or ``"ram"`` (a
+        private heap copy)."""
+        return {
+            name: "mmap"
+            if isinstance(getattr(self, name), np.memmap)
+            else "ram"
+            for name in _SECTION_ORDER
+        }
+
 
 class ColumnarIndices:
     """Lazily-built vectorized derived views over one set of columns.

@@ -76,6 +76,9 @@ class Scenario:
     #: Artifact cache serving/receiving this scenario's heavy outputs.
     cache: Optional[ArtifactCache] = field(default=None, repr=False)
     cache_key: Optional[str] = field(default=None, repr=False)
+    #: True when the corpus was admitted warm (mmap) from the cache
+    #: instead of being rebuilt by propagation.
+    corpus_from_cache: bool = False
 
     _raw_validation: Optional[CompiledValidation] = field(
         default=None, repr=False
@@ -390,6 +393,7 @@ def build_scenario(
         workers=workers,
         cache=cache_obj,
         cache_key=key,
+        corpus_from_cache=corpus_from_cache,
         _raw_validation=raw,
     )
 

@@ -21,7 +21,13 @@ The subsystem is stdlib-only (``asyncio`` + hand-rolled HTTP/1.1 over
   the routed application plus ``/healthz`` and ``/metrics``;
 * :mod:`repro.service.client` — the small blocking
   :class:`~repro.service.client.ServiceClient` used by tests, examples,
-  and scripts.
+  and scripts;
+* :mod:`repro.service.supervisor` — the pre-fork
+  :class:`~repro.service.supervisor.Supervisor` behind
+  ``repro serve --serve-workers N`` (SO_REUSEPORT fan-out, crash
+  restarts with backoff, signal-propagated drain);
+* :mod:`repro.service.loadgen` — the deterministic closed-loop load
+  generator behind ``repro loadgen`` and ``BENCH_service.json``.
 
 Run it from the CLI (``repro serve --port 8787``) or embed it::
 
@@ -36,15 +42,21 @@ Run it from the CLI (``repro serve --port 8787``) or embed it::
 from repro.service.app import ReproService, serve_in_thread
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.http import ApiError
+from repro.service.loadgen import LoadgenResult, prepare_plan, run_loadgen
 from repro.service.pool import ScenarioPool
 from repro.service.query import ScenarioView
+from repro.service.supervisor import Supervisor
 
 __all__ = [
     "ApiError",
+    "LoadgenResult",
     "ReproService",
     "ScenarioPool",
     "ScenarioView",
     "ServiceClient",
     "ServiceError",
+    "Supervisor",
+    "prepare_plan",
+    "run_loadgen",
     "serve_in_thread",
 ]

@@ -139,11 +139,26 @@ class ReproService:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    async def start(self, host: str = "127.0.0.1", port: int = 8787) -> None:
-        """Bind and start serving; ``port=0`` picks a free port."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=host, port=port
-        )
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        sock: Any = None,
+    ) -> None:
+        """Bind and start serving; ``port=0`` picks a free port.
+
+        ``sock`` serves on an already-bound listening socket instead —
+        the supervisor's pre-fork path, where the parent (or the
+        SO_REUSEPORT kernel machinery) owns port selection.
+        """
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port
+            )
         bound = self._server.sockets[0].getsockname()
         self.host, self.port = bound[0], bound[1]
 
@@ -156,13 +171,24 @@ class ReproService:
         # shutdown leaves no pending task or orphaned executor thread.
         await self.pool.aclose()
 
-    async def run(self, host: str = "127.0.0.1", port: int = 8787) -> None:
-        """Serve until SIGINT/SIGTERM, then shut down cleanly."""
-        await self.start(host, port)
-        print(
-            f"repro service listening on http://{self.host}:{self.port}",
-            flush=True,
-        )
+    async def run(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        sock: Any = None,
+        announce: bool = True,
+    ) -> None:
+        """Serve until SIGINT/SIGTERM, then shut down cleanly.
+
+        Supervisor workers pass ``announce=False`` (the parent prints
+        the single canonical banner) and their pre-bound ``sock``.
+        """
+        await self.start(host, port, sock=sock)
+        if announce:
+            print(
+                f"repro service listening on http://{self.host}:{self.port}",
+                flush=True,
+            )
         stop_event = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -253,7 +279,7 @@ class ReproService:
     # ------------------------------------------------------------------
     # shared handler plumbing
     # ------------------------------------------------------------------
-    def _resolve_entry(self, request: Request) -> PoolEntry:
+    async def _resolve_entry(self, request: Request) -> PoolEntry:
         sid = request.query.get("scenario")
         if sid is None:
             entry = self.pool.latest()
@@ -264,6 +290,12 @@ class ReproService:
                 )
             return entry
         entry = self.pool.get(sid)
+        if entry is None:
+            # Multi-worker seam: a sibling process may have admitted
+            # this scenario — its meta record in the shared artifact
+            # cache lets this worker warm-admit the same artifacts, so
+            # answers are invariant to which worker a client lands on.
+            entry = await self.pool.admit_cached(sid)
         if entry is None:
             raise ApiError(
                 404, "unknown_scenario",
@@ -433,7 +465,7 @@ class ReproService:
         self, request: Request, algorithm: str, as1: str, as2: str
     ) -> Tuple[int, Any]:
         self._check_algorithm(algorithm)
-        entry = self._resolve_entry(request)
+        entry = await self._resolve_entry(request)
         await self._ensure_rel_index(entry, algorithm)
         payload = entry.view.link_payload(algorithm, int(as1), int(as2))
         if payload is None:
@@ -480,26 +512,11 @@ class ReproService:
                     f"links[{position}] must be a [as1, as2] integer pair",
                 )
             pairs.append((item[0], item[1]))
-        entry = self._resolve_entry(request)
+        entry = await self._resolve_entry(request)
         await self._ensure_rel_index(entry, algorithm)
-        view = entry.view
-        results: List[Dict[str, Any]] = []
-        n_unknown = 0
-        for a, b in pairs:
-            record = view.link_payload(algorithm, a, b)
-            if record is None:
-                n_unknown += 1
-                record = {
-                    "as1": min(a, b), "as2": max(a, b),
-                    "algorithm": algorithm,
-                    "relationship": None, "provider": None,
-                    "validation": None,
-                    "classes": {"regional": None, "topological": None},
-                    "visibility": 0, "visible": False,
-                }
-            else:
-                record["visible"] = True
-            results.append(record)
+        # One vectorized pass (pack → searchsorted) instead of a
+        # per-key dict walk; see ScenarioView.batch_payloads.
+        results, n_unknown = entry.view.batch_payloads(algorithm, pairs)
         return 200, {
             "scenario": entry.scenario_id,
             "algorithm": algorithm,
@@ -511,7 +528,7 @@ class ReproService:
     async def _h_neighbors(
         self, request: Request, asn: str
     ) -> Tuple[int, Any]:
-        entry = self._resolve_entry(request)
+        entry = await self._resolve_entry(request)
         payload = entry.view.neighbors_payload(int(asn))
         if payload is None:
             raise ApiError(
@@ -526,7 +543,7 @@ class ReproService:
         self, request: Request, algorithm: str
     ) -> Tuple[int, Any]:
         self._check_algorithm(algorithm)
-        entry = self._resolve_entry(request)
+        entry = await self._resolve_entry(request)
         scenario = entry.scenario
 
         def compute() -> Dict[str, Any]:
@@ -562,7 +579,7 @@ class ReproService:
         self, request: Request, algorithm: str
     ) -> Tuple[int, Any]:
         self._check_algorithm(algorithm)
-        entry = self._resolve_entry(request)
+        entry = await self._resolve_entry(request)
         scenario = entry.scenario
         payload = await self._cached_report(
             entry,
@@ -579,7 +596,7 @@ class ReproService:
         algorithm = request.query.get("algorithm", "asrank")
         self._check_algorithm(algorithm)
         class_name = request.query.get("class", "T1-TR")
-        entry = self._resolve_entry(request)
+        entry = await self._resolve_entry(request)
         scenario = entry.scenario
         payload = await self._cached_report(
             entry,

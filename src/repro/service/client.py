@@ -98,6 +98,34 @@ class ServiceClient:
             raise ServiceError(response.status, decoded)
         return decoded
 
+    def request_bytes(
+        self, method: str, path: str, body: Any = None
+    ) -> Tuple[int, bytes]:
+        """One round trip returning ``(status, raw body bytes)``.
+
+        No JSON decoding and no :class:`ServiceError` raising — the
+        transport for byte-identity assertions (e.g. that every worker
+        of a multi-worker deployment serialises the same answer).
+        """
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.RemoteDisconnected,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        return response.status, data
+
     @staticmethod
     def _scenario_suffix(scenario: Optional[str]) -> str:
         return f"?scenario={scenario}" if scenario else ""

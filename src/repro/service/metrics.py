@@ -17,6 +17,7 @@ All mutation happens on the event-loop thread, so bare ints are safe.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, Optional, Tuple
 
@@ -69,6 +70,10 @@ class ServiceMetrics:
         self.errors_total = 0
         self.in_flight = 0
         self.indexes_built = 0
+        #: Position in a multi-worker deployment (0 when standalone);
+        #: the supervisor sets this per fork so scraped histograms are
+        #: attributable to a worker instead of silently conflated.
+        self.worker_index = 0
         self.by_route: Dict[str, Dict[str, int]] = {}
         self.latency = LatencyHistogram()
 
@@ -94,6 +99,10 @@ class ServiceMetrics:
             "latency_ms": self.latency.as_dict(),
             "in_flight": self.in_flight,
             "indexes_built": self.indexes_built,
+            # os.getpid() is read live (not cached at construction) so
+            # the label is correct even when the metrics object was
+            # created before a pre-fork.
+            "worker": {"index": self.worker_index, "pid": os.getpid()},
         }
         if pool is not None:
             out["pool"] = pool.stats()

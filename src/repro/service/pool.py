@@ -91,6 +91,13 @@ class ScenarioPool:
         self.builds = 0
         self.coalesced = 0
         self.evictions = 0
+        #: Builds whose corpus came warm (mmap) out of the artifact
+        #: cache vs. recomputed by propagation.
+        self.warm_admissions = 0
+        self.cold_admissions = 0
+        #: Scenario ids resolved through the shared cache's meta records
+        #: (a sibling process admitted them first).
+        self.cache_resolutions = 0
 
     # ------------------------------------------------------------------
     # lookups
@@ -178,8 +185,35 @@ class ScenarioPool:
             )
 
         entry = await loop.run_in_executor(self._executor, job)
+        # Injected test builders may return non-Scenario stand-ins, so
+        # read the warm flag defensively.
+        if getattr(entry.scenario, "corpus_from_cache", False):
+            self.warm_admissions += 1
+        else:
+            self.cold_admissions += 1
         self._admit(key, entry)
         return entry
+
+    async def admit_cached(self, sid: str) -> Optional[PoolEntry]:
+        """Admit a scenario by id through the shared artifact cache.
+
+        Covers the multi-worker seam: a scenario built (and cached) by a
+        sibling process is unknown to this pool, but its ``meta.json``
+        in the shared cache records the full canonical config.  Resolve
+        the id there, verify it round-trips to the same fingerprint, and
+        run the normal (warm, mmap-backed) admission.  Returns ``None``
+        when no cache is attached or nothing matches.
+        """
+        if self.cache is None:
+            return None
+        loop = asyncio.get_running_loop()
+        config = await loop.run_in_executor(
+            self._executor, self.cache.config_for_fingerprint, sid
+        )
+        if config is None or scenario_id(config) != sid:
+            return None
+        self.cache_resolutions += 1
+        return await self.get_or_build(config)
 
     def _reap(self, key: str, task: asyncio.Task) -> None:
         self._building.pop(key, None)
@@ -212,6 +246,9 @@ class ScenarioPool:
             "builds": self.builds,
             "coalesced": self.coalesced,
             "evictions": self.evictions,
+            "warm_admissions": self.warm_admissions,
+            "cold_admissions": self.cold_admissions,
+            "cache_resolutions": self.cache_resolutions,
             "builds_in_progress": self.builds_in_progress,
         }
 

@@ -1,0 +1,122 @@
+"""The vectorized ``:batch`` path vs the per-key oracle, byte for byte.
+
+``ScenarioView.batch_payloads`` (pack → ``searchsorted``) must be
+indistinguishable on the wire from ``batch_payloads_perkey`` (the
+pre-vectorization dict walk, kept exactly for this comparison): same
+records, same order, same ``n_unknown``, same serialised bytes — across
+seeds, shuffled/reversed pairs, unknown links, negative and oversized
+ASNs, and the self-loop error contract.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.config import ScenarioConfig
+from repro.scenario import build_scenario
+from repro.service import ReproService, ServiceClient, serve_in_thread
+from repro.service.http import json_response
+from repro.service.query import ScenarioView
+
+SEEDS = (3, 5, 11)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def view(request):
+    built = ScenarioView(
+        build_scenario(ScenarioConfig.small(seed=request.param))
+    )
+    built.build_rel_index("asrank")
+    return built
+
+
+def _mixed_pairs(view: ScenarioView, seed: int) -> list:
+    rng = random.Random(seed)
+    visible = view._visible_sorted
+    known = [list(key) for key in rng.sample(visible, min(64, len(visible)))]
+    reversed_known = [[b, a] for a, b in known[:16]]
+    unknown = [
+        [999_999, 1],
+        [1, 2_000_000],
+        [0, 4_294_967_295],
+        [-3, 7],
+        [-1, -2],
+        [2**40, 2],
+        [4_294_967_296, 12],
+    ]
+    pairs = known + reversed_known + unknown
+    rng.shuffle(pairs)
+    return pairs
+
+
+def test_batch_matches_perkey_bytes(view):
+    pairs = _mixed_pairs(view, seed=0)
+    vec, vec_unknown = view.batch_payloads("asrank", pairs)
+    oracle, oracle_unknown = view.batch_payloads_perkey("asrank", pairs)
+    assert vec_unknown == oracle_unknown
+    # Full response envelopes, serialised exactly as the server does.
+    envelope = {
+        "scenario": "deadbeef0000",
+        "algorithm": "asrank",
+        "count": len(pairs),
+        "n_unknown": vec_unknown,
+        "results": vec,
+    }
+    oracle_envelope = dict(envelope, n_unknown=oracle_unknown,
+                           results=oracle)
+    assert json_response(200, envelope) == json_response(
+        200, oracle_envelope
+    )
+
+
+def test_batch_unknown_only(view):
+    pairs = [[987_654, 321], [5, 999_888_777]]
+    vec, n_unknown = view.batch_payloads("asrank", pairs)
+    oracle, oracle_unknown = view.batch_payloads_perkey("asrank", pairs)
+    assert n_unknown == oracle_unknown == 2
+    assert json.dumps(vec, sort_keys=True) == json.dumps(
+        oracle, sort_keys=True
+    )
+    assert all(not record["visible"] for record in vec)
+
+
+def test_batch_empty(view):
+    assert view.batch_payloads("asrank", []) == ([], 0)
+
+
+def test_batch_huge_int_fallback(view):
+    # > int64: numpy refuses the array; the scalar fallback must still
+    # agree with the oracle byte for byte.
+    pairs = [[2**70, 3], list(view._visible_sorted[0])]
+    vec, n_unknown = view.batch_payloads("asrank", pairs)
+    oracle, oracle_unknown = view.batch_payloads_perkey("asrank", pairs)
+    assert n_unknown == oracle_unknown == 1
+    assert json.dumps(vec, sort_keys=True) == json.dumps(
+        oracle, sort_keys=True
+    )
+
+
+def test_batch_self_loop_raises_like_perkey(view):
+    with pytest.raises(ValueError, match="self-loop link at AS5"):
+        view.batch_payloads("asrank", [[5, 5]])
+    with pytest.raises(ValueError, match="self-loop link at AS5"):
+        view.batch_payloads_perkey("asrank", [[5, 5]])
+
+
+def test_batch_too_large_shape():
+    """The 413 contract fires before any scenario is even resolved."""
+    service = ReproService(pool_size=1)
+    with serve_in_thread(service) as live:
+        client = ServiceClient(port=live.port)
+        status, body = client.request_bytes(
+            "POST", "/v1/rel/asrank:batch",
+            {"links": [[1, 2]] * 10_001},
+        )
+        client.close()
+    assert status == 413
+    payload = json.loads(body)
+    assert payload["error"]["code"] == "batch_too_large"
+    assert "10000" in payload["error"]["message"]
